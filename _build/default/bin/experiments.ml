@@ -1,0 +1,60 @@
+(** experiments — regenerate the paper's tables and figures.
+
+    Examples:
+      experiments                 # everything
+      experiments fig10 fig12     # selected artifacts
+      experiments --scale 2 -v    # bigger runs, with progress logging *)
+
+open Cmdliner
+
+let run names scale verbose benchmarks csv_dir =
+  let lab =
+    Wish_experiments.Lab.create ~scale ?names:(if benchmarks = [] then None else Some benchmarks) ()
+  in
+  if verbose then Wish_experiments.Lab.set_logger lab (fun s -> Fmt.epr "[lab] %s@." s);
+  let catalog = Wish_experiments.Figures.all @ Wish_experiments.Ablations.all in
+  let selected =
+    if names = [] then catalog
+    else
+      List.map
+        (fun n ->
+          match List.assoc_opt n catalog with
+          | Some f -> (n, f)
+          | None ->
+            Fmt.epr "unknown artifact %s (know: %s)@." n
+              (String.concat ", " (List.map fst catalog));
+            exit 2)
+        names
+  in
+  List.iter
+    (fun (name, f) ->
+      let table = f lab in
+      Wish_util.Table.print table;
+      print_newline ();
+      match csv_dir with
+      | None -> ()
+      | Some dir ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        let path = Filename.concat dir (name ^ ".csv") in
+        let oc = open_out path in
+        output_string oc (Wish_util.Table.to_csv table);
+        close_out oc;
+        Fmt.epr "wrote %s@." path)
+    selected
+
+let cmd =
+  let names = Arg.(value & pos_all string [] & info [] ~docv:"ARTIFACT") in
+  let scale = Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Workload scale factor") in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log compilation/simulation progress") in
+  let benchmarks =
+    Arg.(value & opt_all string [] & info [ "b"; "bench" ] ~doc:"Restrict to specific benchmarks")
+  in
+  let csv_dir =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~doc:"Also write each artifact as CSV into this directory")
+  in
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Regenerate the wish-branches paper's tables and figures")
+    Term.(const run $ names $ scale $ verbose $ benchmarks $ csv_dir)
+
+let () = exit (Cmd.eval cmd)

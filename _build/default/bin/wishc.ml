@@ -1,0 +1,48 @@
+(** wishc — compile a workload and inspect the five Table-3 binaries: code
+    listings, static statistics, and the profile-driven decisions. *)
+
+open Cmdliner
+
+let run bench_name scale kinds list_code =
+  let bench = Wish_workloads.Workloads.find ~scale bench_name in
+  let bins =
+    Wish_compiler.Compiler.compile_all ~mem_words:bench.mem_words ~name:bench.name
+      ~profile_data:(Wish_workloads.Bench.profile_data bench) bench.ast
+  in
+  let kinds =
+    if kinds = [] then Wish_compiler.Compiler.all_kinds
+    else
+      List.filter_map
+        (fun n ->
+          List.find_opt
+            (fun k -> Wish_compiler.Policy.kind_name k = n)
+            Wish_compiler.Compiler.all_kinds)
+        kinds
+  in
+  Fmt.pr "workload %s: %s@.profile input: %s@.@." bench.name bench.description
+    bench.profile_input;
+  List.iter
+    (fun kind ->
+      let p = Wish_compiler.Compiler.binary bins kind in
+      let code = Wish_isa.Program.code p in
+      Fmt.pr "%-22s %4d insts, %3d cond branches, %2d wish (%d loops)@."
+        (Wish_compiler.Policy.kind_name kind)
+        (Wish_isa.Code.length code)
+        (Wish_isa.Code.static_conditional_branches code)
+        (Wish_isa.Code.static_wish_branches code)
+        (Wish_isa.Code.static_wish_loops code);
+      if list_code then Fmt.pr "@.%a@." Wish_isa.Code.pp code)
+    kinds
+
+let cmd =
+  let bench = Arg.(value & pos 0 string "gzip" & info [] ~docv:"WORKLOAD") in
+  let scale = Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Workload scale factor") in
+  let kinds =
+    Arg.(value & opt_all string [] & info [ "k"; "kind" ] ~doc:"Binary kind(s) to show")
+  in
+  let code = Arg.(value & flag & info [ "code" ] ~doc:"Print full code listings") in
+  Cmd.v
+    (Cmd.info "wishc" ~doc:"Compile workloads into the five wish-branch paper binaries")
+    Term.(const run $ bench $ scale $ kinds $ code)
+
+let () = exit (Cmd.eval cmd)

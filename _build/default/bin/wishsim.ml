@@ -1,0 +1,102 @@
+(** wishsim — simulate one workload binary on the wish-branch machine.
+
+    Examples:
+      wishsim -b gzip -k wish-jump-join-loop -i A
+      wishsim -b mcf -k base-max --no-wish-hardware --rob 128 --stats *)
+
+open Cmdliner
+
+let run bench_name kind_name input scale asm_file rob stages mech_select wish_hw perfect_bp
+    perfect_conf no_depend no_fetch show_stats show_code =
+  let program, bench_label =
+    match asm_file with
+    | Some path ->
+      let p = try Wish_isa.Parse.program_of_file path with
+        | Wish_isa.Parse.Parse_error { line; message } ->
+          Fmt.epr "%s:%d: %s@." path line message;
+          exit 2
+      in
+      (p, path)
+    | None ->
+      let bench = Wish_workloads.Workloads.find ~scale bench_name in
+      let kind =
+        match
+          List.find_opt
+            (fun k -> Wish_compiler.Policy.kind_name k = kind_name)
+            Wish_compiler.Compiler.all_kinds
+        with
+        | Some k -> k
+        | None ->
+          Fmt.epr "unknown binary kind %s@." kind_name;
+          exit 2
+      in
+      let bins =
+        Wish_compiler.Compiler.compile_all ~mem_words:bench.mem_words ~name:bench.name
+          ~profile_data:(Wish_workloads.Bench.profile_data bench) bench.ast
+      in
+      (Wish_workloads.Bench.program_for bench (Wish_compiler.Compiler.binary bins kind) input,
+       bench.name)
+  in
+  if show_code then Fmt.pr "%a@." Wish_isa.Code.pp (Wish_isa.Program.code program);
+  let config =
+    let open Wish_sim.Config in
+    let c = with_rob default rob in
+    let c = with_pipeline_stages c stages in
+    {
+      c with
+      mech = (if mech_select then Select_uop else C_style);
+      wish_hardware = wish_hw;
+      knobs = { perfect_bp; perfect_conf; no_depend; no_fetch };
+    }
+  in
+  let s = Wish_sim.Runner.simulate ~config program in
+  Fmt.pr "workload      %s (input %s, scale %d)@." bench_label input scale;
+  Fmt.pr "binary        %s@." kind_name;
+  Fmt.pr "dynamic insts %d@." s.dynamic_insts;
+  Fmt.pr "retired uops  %d (+%d phantom)@." s.retired_uops s.retired_phantom;
+  Fmt.pr "cycles        %d@." s.cycles;
+  Fmt.pr "uPC           %.3f@." s.upc;
+  Fmt.pr "branches      %d cond retired, %d mispredicted, %d flushes@." s.cond_branches
+    s.mispredicts s.flushes;
+  Fmt.pr "caches        L1D %d/%d miss, L2 %d/%d miss, L1I %d/%d miss@." s.mem.l1d_misses
+    s.mem.l1d_accesses s.mem.l2_misses s.mem.l2_accesses s.mem.l1i_misses s.mem.l1i_accesses;
+  if show_stats then Fmt.pr "@.-- raw counters --@.%a" Wish_util.Stats.pp s.stats
+
+let cmd =
+  let bench =
+    Arg.(value & opt string "gzip" & info [ "b"; "bench" ] ~doc:"Workload name (gzip, vpr, ...)")
+  in
+  let kind =
+    Arg.(
+      value
+      & opt string "wish-jump-join-loop"
+      & info [ "k"; "kind" ]
+          ~doc:"Binary kind: normal, base-def, base-max, wish-jump-join, wish-jump-join-loop")
+  in
+  let input = Arg.(value & opt string "A" & info [ "i"; "input" ] ~doc:"Input set label (A/B/C)") in
+  let scale = Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Workload scale factor") in
+  let asm_file =
+    Arg.(value & opt (some string) None
+         & info [ "asm" ] ~doc:"Simulate a .wisc assembly file instead of a workload")
+  in
+  let rob = Arg.(value & opt int 512 & info [ "rob" ] ~doc:"Instruction window size") in
+  let stages = Arg.(value & opt int 30 & info [ "stages" ] ~doc:"Pipeline depth") in
+  let mech = Arg.(value & flag & info [ "select-uop" ] ~doc:"Use the select-uop mechanism") in
+  let wish_hw =
+    Arg.(
+      value & opt bool true
+      & info [ "wish-hardware" ] ~doc:"Enable wish-branch hardware (false: wish branches act as normal)")
+  in
+  let pbp = Arg.(value & flag & info [ "perfect-bp" ] ~doc:"Oracle branch prediction") in
+  let pcf = Arg.(value & flag & info [ "perfect-conf" ] ~doc:"Oracle confidence estimation") in
+  let nd = Arg.(value & flag & info [ "no-depend" ] ~doc:"Remove predicate data dependencies (oracle)") in
+  let nf = Arg.(value & flag & info [ "no-fetch" ] ~doc:"Drop false-predicated uops at fetch (oracle)") in
+  let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Dump raw statistics counters") in
+  let code = Arg.(value & flag & info [ "code" ] ~doc:"Print the binary's code listing") in
+  Cmd.v
+    (Cmd.info "wishsim" ~doc:"Cycle-level simulation of wish-branch binaries")
+    Term.(
+      const run $ bench $ kind $ input $ scale $ asm_file $ rob $ stages $ mech $ wish_hw $ pbp
+      $ pcf $ nd $ nf $ stats $ code)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/hand_assembled.ml: Asm Code Emu Fmt Inst Isa List Program Sim Util Wishbranch

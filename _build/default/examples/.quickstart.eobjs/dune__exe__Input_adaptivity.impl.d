@@ -1,0 +1,1 @@
+examples/input_adaptivity.ml: Compiler List Printf Sim Wishbranch Workloads

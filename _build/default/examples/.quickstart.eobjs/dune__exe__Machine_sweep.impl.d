@@ -1,0 +1,1 @@
+examples/machine_sweep.ml: Array Compiler Emu List Printf Sim Sys Wishbranch Workloads

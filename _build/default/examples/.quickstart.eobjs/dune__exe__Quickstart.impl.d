@@ -1,0 +1,1 @@
+examples/quickstart.ml: Compiler Emu Isa List Printf Sim Util Wishbranch

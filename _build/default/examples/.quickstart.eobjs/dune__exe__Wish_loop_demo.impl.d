@@ -1,0 +1,1 @@
+examples/wish_loop_demo.ml: Compiler Isa List Printf Sim Util Wishbranch

@@ -1,0 +1,1 @@
+examples/wish_loop_demo.mli:

@@ -1,0 +1,1 @@
+lib/bpred/confidence.mli:

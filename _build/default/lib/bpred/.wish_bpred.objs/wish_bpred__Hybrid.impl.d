@@ -1,0 +1,1 @@
+lib/bpred/hybrid.ml: Array Gshare Pas

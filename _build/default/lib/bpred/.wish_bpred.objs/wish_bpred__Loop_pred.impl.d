@@ -1,0 +1,1 @@
+lib/bpred/loop_pred.ml: Hashtbl

@@ -1,0 +1,1 @@
+lib/bpred/pas.mli:

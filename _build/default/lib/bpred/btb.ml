@@ -1,0 +1,22 @@
+(** Branch target buffer: set-associative, LRU, tagged by PC. An entry also
+    caches the branch's static kind so the front end knows it fetched a wish
+    branch before full decode (paper Section 3.5.1: "A BTB entry is extended
+    to indicate whether or not the branch is a wish branch and the type of
+    the wish branch"). *)
+
+type entry = { target : int; is_wish : bool }
+
+type t = { table : entry Wish_util.Lru.t; sets : int }
+
+let create ~entries ~ways =
+  assert (entries mod ways = 0);
+  let sets = entries / ways in
+  { table = Wish_util.Lru.create ~sets ~ways ~default:(fun () -> { target = 0; is_wish = false }); sets }
+
+let set_of t pc = pc mod t.sets
+let tag_of t pc = pc / t.sets
+
+let lookup t ~pc = Wish_util.Lru.find t.table ~set:(set_of t pc) ~tag:(tag_of t pc)
+
+let insert t ~pc ~target ~is_wish =
+  ignore (Wish_util.Lru.insert t.table ~set:(set_of t pc) ~tag:(tag_of t pc) { target; is_wish })

@@ -1,0 +1,12 @@
+(** Branch target buffer: set-associative, LRU, tagged by PC. An entry also
+    caches the branch's static kind so the front end knows it fetched a
+    wish branch before full decode (paper Section 3.5.1). *)
+
+type entry = { target : int; is_wish : bool }
+type t
+
+(** [create ~entries ~ways] — [entries] must be a multiple of [ways]. *)
+val create : entries:int -> ways:int -> t
+
+val lookup : t -> pc:int -> entry option
+val insert : t -> pc:int -> target:int -> is_wish:bool -> unit

@@ -1,0 +1,63 @@
+(** JRS confidence estimator [Jacobsen, Rotenberg & Smith, MICRO-29 1996],
+    modified as in the paper: a small tagged 4-way table of resetting "miss
+    distance counters" dedicated to wish branches (Table 2: "1KB, tagged
+    (4-way), 16-bit history JRS estimator").
+
+    Indexing xors the PC with the global branch history. A counter is
+    incremented when the branch's prediction was correct and reset to zero
+    on a misprediction; a prediction is estimated high-confidence when the
+    counter is at or above the confidence threshold. *)
+
+type config = {
+  sets : int;
+  ways : int;
+  counter_bits : int;
+  threshold : int; (* high confidence iff counter >= threshold *)
+  history_bits : int;
+}
+
+(* The paper's estimator uses 16 bits of history; at SPEC scale (hundreds
+   of millions of branches) that trains fine, but our kernels retire a few
+   thousand instances per wish branch, so the default folds history into
+   fewer classes (2^4) and uses a slightly lower confidence threshold to
+   reach steady state within a run. The paper-exact parameters remain
+   available via the record fields. *)
+let default_config = { sets = 64; ways = 4; counter_bits = 4; threshold = 10; history_bits = 4 }
+
+type t = { table : int Wish_util.Lru.t; config : config }
+
+let create config =
+  assert (config.threshold <= (1 lsl config.counter_bits) - 1);
+  { table = Wish_util.Lru.create ~sets:config.sets ~ways:config.ways ~default:(fun () -> 0); config }
+
+(* The [history_bits] of global history are folded (xor-reduced) down to
+   the set-index width before being combined with the PC, so a branch's
+   history patterns map onto a handful of counters rather than one counter
+   per distinct pattern; the tag identifies the PC (the "tagged" part of
+   the design, avoiding cross-branch interference). *)
+let fold_history t history =
+  let h = history land ((1 lsl t.config.history_bits) - 1) in
+  let rec fold acc h = if h = 0 then acc else fold (acc lxor (h mod t.config.sets)) (h / t.config.sets) in
+  fold 0 h
+
+let set_of t ~pc ~history = (pc lxor fold_history t history) mod t.config.sets
+let tag_of ~pc = pc
+
+(** [is_high_confidence t ~pc ~history] — a missing entry is low confidence
+    (the branch has not yet proven itself predictable). *)
+let is_high_confidence t ~pc ~history =
+  match Wish_util.Lru.find t.table ~set:(set_of t ~pc ~history) ~tag:(tag_of ~pc) with
+  | None -> false
+  | Some c -> c >= t.config.threshold
+
+(** [train t ~pc ~history ~correct] updates the resetting counter, inserting
+    the entry on first sight. *)
+let train t ~pc ~history ~correct =
+  let set = set_of t ~pc ~history and tag = tag_of ~pc in
+  let max_c = (1 lsl t.config.counter_bits) - 1 in
+  let updated =
+    Wish_util.Lru.update t.table ~set ~tag ~f:(fun c ->
+        if correct then min max_c (c + 1) else 0)
+  in
+  if not updated then
+    ignore (Wish_util.Lru.insert t.table ~set ~tag (if correct then 1 else 0))

@@ -1,0 +1,24 @@
+(** Gshare direction predictor [McFarling 1993]: a pattern history table of
+    2-bit counters indexed by PC xor global history.
+
+    The global history register is owned by {!Hybrid} so that all global
+    components (gshare, selector, confidence index) see one coherent,
+    speculatively-updated history; gshare itself is a pure table. *)
+
+type t = { pht : int array; index_bits : int }
+
+let create ~index_bits =
+  assert (index_bits > 0 && index_bits <= 24);
+  { pht = Array.make (1 lsl index_bits) 2 (* weakly taken *); index_bits }
+
+let index t ~pc ~history = (pc lxor history) land ((1 lsl t.index_bits) - 1)
+
+let predict_at t idx = t.pht.(idx) >= 2
+
+let predict t ~pc ~history = predict_at t (index t ~pc ~history)
+
+let train_at t idx ~taken =
+  let c = t.pht.(idx) in
+  t.pht.(idx) <- (if taken then min 3 (c + 1) else max 0 (c - 1))
+
+let train t ~pc ~history ~taken = train_at t (index t ~pc ~history) ~taken

@@ -1,0 +1,96 @@
+(** Hybrid gshare/PAs direction predictor with a selector table, modelling
+    the paper's baseline: "64K-entry gshare/PAs hybrid, 64K-entry selector"
+    (Table 2).
+
+    Protocol with the out-of-order core:
+    - [predict] at fetch returns the direction plus a {!lookup} capturing
+      every table index consulted; the core stores it in the branch µop.
+    - [spec_update] immediately after predicting shifts the predicted
+      direction into the global and local histories and returns a
+      {!snapshot} used to undo exactly this branch's effects.
+    - [restore] is called youngest-first over squashed branches.
+    - [train] at retirement updates the pattern tables and the selector
+      using the indices captured at fetch (the history the prediction
+      actually used). *)
+
+type config = {
+  gshare_bits : int; (* log2 gshare PHT entries; also global history length *)
+  pas_bht_bits : int;
+  pas_hist_bits : int;
+  pas_pht_bits : int;
+  selector_bits : int;
+}
+
+let default_config =
+  { gshare_bits = 16; pas_bht_bits = 12; pas_hist_bits = 10; pas_pht_bits = 16; selector_bits = 16 }
+
+type t = {
+  gshare : Gshare.t;
+  pas : Pas.t;
+  selector : int array; (* 2-bit: >=2 chooses gshare *)
+  selector_mask : int;
+  mutable history : int; (* speculative global history *)
+  history_mask : int;
+}
+
+type lookup = {
+  taken : bool;
+  g_taken : bool;
+  p_taken : bool;
+  g_index : int;
+  p_index : int;
+  s_index : int;
+}
+
+type snapshot = { old_history : int; snap_pc : int; old_local : int }
+
+let create config =
+  {
+    gshare = Gshare.create ~index_bits:config.gshare_bits;
+    pas =
+      Pas.create ~bht_bits:config.pas_bht_bits ~hist_bits:config.pas_hist_bits
+        ~pht_bits:config.pas_pht_bits;
+    selector = Array.make (1 lsl config.selector_bits) 2;
+    selector_mask = (1 lsl config.selector_bits) - 1;
+    history = 0;
+    history_mask = (1 lsl config.gshare_bits) - 1;
+  }
+
+let global_history t = t.history
+
+let predict t ~pc =
+  let g_index = Gshare.index t.gshare ~pc ~history:t.history in
+  let g_taken = Gshare.predict_at t.gshare g_index in
+  let p_taken, p_index = Pas.predict t.pas ~pc in
+  let s_index = (pc lxor t.history) land t.selector_mask in
+  let taken = if t.selector.(s_index) >= 2 then g_taken else p_taken in
+  { taken; g_taken; p_taken; g_index; p_index; s_index }
+
+(** Speculatively shift [dir] (the direction the front end follows) into
+    both histories. *)
+let spec_update t ~pc ~dir =
+  let old_history = t.history in
+  t.history <- ((t.history lsl 1) lor if dir then 1 else 0) land t.history_mask;
+  let old_local = Pas.spec_update t.pas ~pc ~taken:dir in
+  { old_history; snap_pc = pc; old_local }
+
+let restore t snap =
+  t.history <- snap.old_history;
+  Pas.restore t.pas ~pc:snap.snap_pc ~old:snap.old_local
+
+(** [force_history t ~dir ~snap] re-applies a corrected outcome after a
+    squash: restore then shift the actual direction. *)
+let correct t snap ~dir =
+  restore t snap;
+  ignore (spec_update t ~pc:snap.snap_pc ~dir)
+
+let train t (l : lookup) ~taken =
+  Gshare.train_at t.gshare l.g_index ~taken;
+  Pas.train_at t.pas l.p_index ~taken;
+  (* The selector trains toward the component that was right, only when the
+     components disagree. *)
+  if l.g_taken <> l.p_taken then begin
+    let c = t.selector.(l.s_index) in
+    t.selector.(l.s_index) <-
+      (if l.g_taken = taken then min 3 (c + 1) else max 0 (c - 1))
+  end

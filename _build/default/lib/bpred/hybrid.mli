@@ -1,0 +1,54 @@
+(** Hybrid gshare/PAs direction predictor with a selector table — the
+    paper's baseline "64K-entry gshare/PAs hybrid, 64K-entry selector"
+    (Table 2).
+
+    Protocol with the out-of-order core:
+    + [predict] at fetch returns the direction plus a {!lookup} capturing
+      every table index consulted; the core stores it in the branch µop.
+    + [spec_update] immediately afterwards shifts the followed direction
+      into the global and local histories, returning a {!snapshot} that
+      undoes exactly this branch's effects.
+    + [restore] is called youngest-first over squashed branches.
+    + [train] at retirement updates pattern tables and selector using the
+      indices captured at fetch (the history the prediction actually
+      used). *)
+
+type config = {
+  gshare_bits : int;  (** log2 gshare PHT entries = global history length *)
+  pas_bht_bits : int;
+  pas_hist_bits : int;
+  pas_pht_bits : int;
+  selector_bits : int;
+}
+
+val default_config : config
+
+type t
+
+type lookup = {
+  taken : bool;
+  g_taken : bool;
+  p_taken : bool;
+  g_index : int;
+  p_index : int;
+  s_index : int;
+}
+
+type snapshot
+
+val create : config -> t
+val global_history : t -> int
+val predict : t -> pc:int -> lookup
+
+(** [spec_update t ~pc ~dir] — [dir] is the direction the front end
+    follows (or, for low-confidence-forced wish branches, the predictor's
+    own output; see the core). *)
+val spec_update : t -> pc:int -> dir:bool -> snapshot
+
+val restore : t -> snapshot -> unit
+
+(** [correct t snap ~dir] — restore, then re-apply the actual outcome
+    (used at misprediction recovery). *)
+val correct : t -> snapshot -> dir:bool -> unit
+
+val train : t -> lookup -> taken:bool -> unit

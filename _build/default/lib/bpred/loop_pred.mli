@@ -1,0 +1,32 @@
+(** Wish-loop predictor (paper Section 3.2): a loop-termination predictor
+    deliberately biased to overestimate trip counts, so a front end in
+    low-confidence mode exits a short phantom tail after the real exit
+    (cheap late-exit) instead of undershooting into a flush (early-exit).
+
+    Loops with repeating trip counts are predicted exactly (Sherwood &
+    Calder loop termination); variable loops iterate until an exponential
+    moving average of recent trips plus [bias]. *)
+
+type t
+
+val create : ?bias:int -> ?conf_threshold:int -> unit -> t
+
+(** Prediction quality: [Exact] is trustworthy in any mode; [Biased] is a
+    deliberate overestimate, only useful in low-confidence (predicated)
+    mode. *)
+type prediction = No_prediction | Exact of bool | Biased of bool
+
+val predict : t -> pc:int -> prediction
+
+(** [spec_iterate t ~pc ~taken] advances the front-end visit view with the
+    followed direction. *)
+val spec_iterate : t -> pc:int -> taken:bool -> unit
+
+(** [squash t ~pc] / [squash_all t] rewind the front-end view to
+    retirement state after a pipeline flush. *)
+val squash : t -> pc:int -> unit
+
+val squash_all : t -> unit
+
+(** [train t ~pc ~taken] consumes a retired loop-branch outcome. *)
+val train : t -> pc:int -> taken:bool -> unit

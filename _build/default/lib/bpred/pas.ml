@@ -1,0 +1,53 @@
+(** PAs two-level predictor [Yeh & Patt 1992]: per-address branch history
+    registers indexing a set of pattern history tables.
+
+    Local histories are updated speculatively at fetch; the old history is
+    returned so the core can restore it when squashing. *)
+
+type t = {
+  bht : int array; (* per-address local history registers *)
+  pht : int array; (* pattern history table of 2-bit counters *)
+  bht_bits : int; (* log2 number of history registers *)
+  hist_bits : int; (* local history length *)
+  pht_bits : int; (* log2 PHT entries *)
+}
+
+let create ~bht_bits ~hist_bits ~pht_bits =
+  assert (bht_bits > 0 && hist_bits > 0 && pht_bits > 0);
+  assert (hist_bits <= pht_bits);
+  {
+    bht = Array.make (1 lsl bht_bits) 0;
+    pht = Array.make (1 lsl pht_bits) 2;
+    bht_bits;
+    hist_bits;
+    pht_bits;
+  }
+
+let bht_index t ~pc = pc land ((1 lsl t.bht_bits) - 1)
+
+(* Concatenate local history with low PC bits to fill the PHT index; this is
+   the "per-address history, shared pattern tables" organization. *)
+let pht_index t ~pc ~local =
+  let hist = local land ((1 lsl t.hist_bits) - 1) in
+  let pc_part = pc lsl t.hist_bits in
+  (hist lor pc_part) land ((1 lsl t.pht_bits) - 1)
+
+let local_history t ~pc = t.bht.(bht_index t ~pc)
+
+let predict t ~pc =
+  let idx = pht_index t ~pc ~local:(local_history t ~pc) in
+  (t.pht.(idx) >= 2, idx)
+
+(** [spec_update t ~pc ~taken] shifts the predicted direction into the local
+    history and returns the previous history for squash repair. *)
+let spec_update t ~pc ~taken =
+  let bi = bht_index t ~pc in
+  let old = t.bht.(bi) in
+  t.bht.(bi) <- ((old lsl 1) lor if taken then 1 else 0) land ((1 lsl t.hist_bits) - 1);
+  old
+
+let restore t ~pc ~old = t.bht.(bht_index t ~pc) <- old
+
+let train_at t idx ~taken =
+  let c = t.pht.(idx) in
+  t.pht.(idx) <- (if taken then min 3 (c + 1) else max 0 (c - 1))

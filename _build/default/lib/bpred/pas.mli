@@ -1,0 +1,21 @@
+(** PAs two-level predictor [Yeh & Patt 1992]: per-address branch history
+    registers indexing shared pattern history tables.
+
+    Local histories are updated speculatively at fetch; the old history is
+    returned so the core can restore it when squashing. *)
+
+type t
+
+val create : bht_bits:int -> hist_bits:int -> pht_bits:int -> t
+val local_history : t -> pc:int -> int
+
+(** [predict t ~pc] returns the direction and the PHT index used (keep it
+    for retirement-time {!train_at}). *)
+val predict : t -> pc:int -> bool * int
+
+(** [spec_update t ~pc ~taken] shifts the followed direction into the local
+    history; returns the previous history for squash repair. *)
+val spec_update : t -> pc:int -> taken:bool -> int
+
+val restore : t -> pc:int -> old:int -> unit
+val train_at : t -> int -> taken:bool -> unit

@@ -1,0 +1,1 @@
+lib/compiler/codegen.ml: Asm Ast Fmt Hashtbl Inst List Policy Printf Program Queue Reg Wish_isa

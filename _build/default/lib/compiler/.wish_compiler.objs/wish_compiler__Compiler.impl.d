@@ -1,0 +1,1 @@
+lib/compiler/compiler.ml: Codegen Hashtbl List Option Policy Program Wish_emu Wish_isa

@@ -1,0 +1,1 @@
+lib/compiler/compiler.mli: Ast Codegen Policy Wish_isa

@@ -1,0 +1,1 @@
+lib/compiler/policy.mli: Hashtbl

@@ -1,0 +1,94 @@
+(** The Kernel language: a small imperative language with global scalar
+    variables and a flat word memory, rich enough to express the SPEC-like
+    benchmark kernels. The compiler lowers it to WISC in five flavours
+    (Table 3 of the paper): normal branches, conservatively predicated
+    (BASE-DEF), aggressively predicated (BASE-MAX), wish jumps/joins, and
+    wish jumps/joins/loops.
+
+    Branch-carrying constructs ([If], [While], [Do_while], [For]) are
+    identified by their pre-order traversal index, which is stable across
+    the five lowerings — that is how profile data collected on the normal
+    binary drives predication decisions for the others. *)
+
+type binop = Add | Sub | Mul | And | Or | Xor | Shl | Shr
+
+type cmpop = Eq | Ne | Lt | Le | Gt | Ge
+
+type expr =
+  | Int of int
+  | Var of string
+  | Binop of binop * expr * expr
+  | Cmp of cmpop * expr * expr (* evaluates to 1 or 0 *)
+  | Load of expr (* mem[e] *)
+
+type stmt =
+  | Assign of string * expr
+  | Store of expr * expr (* mem[e1] <- e2 *)
+  | If of expr * block * block
+  | While of expr * block
+  | Do_while of block * expr
+  | For of string * expr * expr * block (* v = e1; while v < e2 { body; v++ } *)
+  | Call of string
+
+and block = stmt list
+
+type program = { funcs : (string * block) list; main : block }
+
+(** Convenience constructors; open [Ast.O] locally when building programs
+    (it shadows the arithmetic and comparison operators). *)
+module O = struct
+  let v name = Var name
+  let i n = Int n
+  let ( + ) a b = Binop (Add, a, b)
+  let ( - ) a b = Binop (Sub, a, b)
+  let ( * ) a b = Binop (Mul, a, b)
+  let ( &&& ) a b = Binop (And, a, b)
+  let ( ||| ) a b = Binop (Or, a, b)
+  let ( ^^ ) a b = Binop (Xor, a, b)
+  let ( << ) a b = Binop (Shl, a, b)
+  let ( >> ) a b = Binop (Shr, a, b)
+  let ( = ) a b = Cmp (Eq, a, b)
+  let ( <> ) a b = Cmp (Ne, a, b)
+  let ( < ) a b = Cmp (Lt, a, b)
+  let ( <= ) a b = Cmp (Le, a, b)
+  let ( > ) a b = Cmp (Gt, a, b)
+  let ( >= ) a b = Cmp (Ge, a, b)
+  let mem e = Load e
+  let ( <-- ) name e = Assign (name, e)
+end
+
+(** [is_straight_line block] — no control flow at all: the form required of
+    wish-loop bodies and fully predicated region leaves. *)
+let rec is_straight_line_stmt = function
+  | Assign _ | Store _ -> true
+  | If _ | While _ | Do_while _ | For _ | Call _ -> false
+
+and is_straight_line block = List.for_all is_straight_line_stmt block
+
+(** [is_convertible block] — if-convertible: straight-line code and nested
+    convertible [If]s only (no loops or calls), per the region restrictions
+    of the ORC if-converter we model. *)
+let rec is_convertible_stmt = function
+  | Assign _ | Store _ -> true
+  | If (_, a, b) -> is_convertible a && is_convertible b
+  | While _ | Do_while _ | For _ | Call _ -> false
+
+and is_convertible block = List.for_all is_convertible_stmt block
+
+(* Static size estimation (in WISC instructions) for the cost model. *)
+let rec expr_size = function
+  | Int _ -> 0
+  | Var _ -> 0
+  | Binop (_, a, b) -> 1 + expr_size a + expr_size b
+  | Cmp (_, a, b) -> 3 + expr_size a + expr_size b (* cmp + two guarded moves *)
+  | Load e -> 1 + expr_size e
+
+let rec stmt_size = function
+  | Assign (_, e) -> 1 + expr_size e
+  | Store (a, e) -> 1 + expr_size a + expr_size e
+  | If (c, a, b) -> 2 + expr_size c + block_size a + block_size b
+  | While (c, b) | Do_while (b, c) -> 2 + expr_size c + block_size b
+  | For (_, a, b, body) -> 4 + expr_size a + expr_size b + block_size body
+  | Call _ -> 1
+
+and block_size b = List.fold_left (fun acc s -> acc + stmt_size s) 0 b

@@ -1,0 +1,75 @@
+(** The Kernel language: a small imperative language with global scalar
+    variables and a flat word memory, rich enough to express the SPEC-like
+    benchmark kernels. The compiler lowers it to WISC in five flavours
+    (paper Table 3).
+
+    Branch-carrying constructs ([If], [While], [Do_while], [For]) are
+    identified by their pre-order traversal index, which is stable across
+    the five lowerings — that is how profile data collected on the normal
+    binary drives predication decisions for the others. *)
+
+type binop = Add | Sub | Mul | And | Or | Xor | Shl | Shr
+type cmpop = Eq | Ne | Lt | Le | Gt | Ge
+
+type expr =
+  | Int of int
+  | Var of string
+  | Binop of binop * expr * expr
+  | Cmp of cmpop * expr * expr  (** evaluates to 1 or 0 *)
+  | Load of expr  (** mem\[e\] *)
+
+type stmt =
+  | Assign of string * expr
+  | Store of expr * expr  (** mem\[e1\] <- e2 *)
+  | If of expr * block * block
+  | While of expr * block
+  | Do_while of block * expr
+  | For of string * expr * expr * block
+      (** [For (v, e1, e2, body)]: v = e1; while v < e2 {body; v++} *)
+  | Call of string
+
+and block = stmt list
+
+type program = { funcs : (string * block) list; main : block }
+
+(** Convenience constructors; open [Ast.O] locally when building programs
+    (it shadows arithmetic and comparison operators — parenthesize
+    right-hand sides). *)
+module O : sig
+  val v : string -> expr
+  val i : int -> expr
+  val ( + ) : expr -> expr -> expr
+  val ( - ) : expr -> expr -> expr
+  val ( * ) : expr -> expr -> expr
+  val ( &&& ) : expr -> expr -> expr
+  val ( ||| ) : expr -> expr -> expr
+  val ( ^^ ) : expr -> expr -> expr
+  val ( << ) : expr -> expr -> expr
+  val ( >> ) : expr -> expr -> expr
+  val ( = ) : expr -> expr -> expr
+  val ( <> ) : expr -> expr -> expr
+  val ( < ) : expr -> expr -> expr
+  val ( <= ) : expr -> expr -> expr
+  val ( > ) : expr -> expr -> expr
+  val ( >= ) : expr -> expr -> expr
+  val mem : expr -> expr
+  val ( <-- ) : string -> expr -> stmt
+end
+
+(** [is_straight_line block] — no control flow at all: the form required
+    of wish-loop bodies. *)
+val is_straight_line_stmt : stmt -> bool
+
+val is_straight_line : block -> bool
+
+(** [is_convertible block] — if-convertible: straight-line code and nested
+    convertible [If]s only (no loops or calls). *)
+val is_convertible_stmt : stmt -> bool
+
+val is_convertible : block -> bool
+
+(** Static size estimation (in WISC instructions) for the cost model. *)
+val expr_size : expr -> int
+
+val stmt_size : stmt -> int
+val block_size : block -> int

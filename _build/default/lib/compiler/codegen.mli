@@ -1,0 +1,32 @@
+(** Guard-context lowering from Kernel to WISC.
+
+    Every lowering function carries the current guard predicate.
+    If-conversion is structural: predicating an [If] lowers both arms
+    under the two destination predicates of the condition compare (using
+    [cmp.unc] inside regions so nested predicates clear when the outer
+    guard is false). Wish jump/join and wish loop generation follow paper
+    Figures 3c, 4b and 5b. Pure computations into dead temporaries inside
+    regions are control-speculated (emitted unguarded with the [spec]
+    mark); loads stay guarded with a speculated destination clear.
+
+    Register conventions: r0 = zero, r3..r51 program variables (spilled to
+    the top of data memory when exhausted), r52..r63 rotating expression
+    temporaries; predicates allocated by region nesting depth from p1. *)
+
+exception Error of string
+
+(** Words at the top of data memory reserved for spilled variables;
+    programs must not place data there. *)
+val spill_reserve : int
+
+(** Branch-construct to emitted-branch mapping: [(pc, construct id,
+    taken-means-condition-true)] — how emulator profiles are attributed
+    back to AST constructs. *)
+type branch_map = (int * int * bool) list
+
+(** [compile ?mem_words ~policy ~name program] lowers a Kernel program.
+    Raises {!Error} on malformed programs (undefined callees, calls or
+    loops inside predicated regions, over-deep expressions, too many
+    spilled variables). *)
+val compile :
+  ?mem_words:int -> policy:Policy.t -> name:string -> Ast.program -> Wish_isa.Program.t * branch_map

@@ -1,0 +1,1 @@
+lib/emu/exec.ml: Code Inst Memory Program State Wish_isa

@@ -1,0 +1,1 @@
+lib/emu/exec.mli: State Wish_isa

@@ -1,0 +1,1 @@
+lib/emu/memory.ml: Array List Wish_isa

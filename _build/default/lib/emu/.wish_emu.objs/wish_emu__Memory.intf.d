@@ -1,0 +1,1 @@
+lib/emu/memory.mli: Wish_isa

@@ -1,0 +1,1 @@
+lib/emu/profile.ml: Code Exec Hashtbl Inst Program State Wish_isa

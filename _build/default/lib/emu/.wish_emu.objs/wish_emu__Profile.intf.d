@@ -1,0 +1,1 @@
+lib/emu/profile.mli: Exec Hashtbl State Wish_isa

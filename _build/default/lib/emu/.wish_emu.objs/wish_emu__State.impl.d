@@ -1,0 +1,1 @@
+lib/emu/state.ml: Array List Memory Program Reg Wish_isa

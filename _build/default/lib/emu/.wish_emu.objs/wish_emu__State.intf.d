@@ -1,0 +1,1 @@
+lib/emu/state.mli: Memory Wish_isa

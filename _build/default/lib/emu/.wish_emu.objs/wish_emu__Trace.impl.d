@@ -1,0 +1,1 @@
+lib/emu/trace.ml: Array Bytes Char Exec Program State Wish_isa

@@ -1,0 +1,1 @@
+lib/emu/trace.mli: State Wish_isa

@@ -1,0 +1,36 @@
+(** Single-step architectural semantics.
+
+    Two execution modes:
+    - [Architectural]: every branch follows its real semantics — the
+      golden model used for equivalence testing between binaries.
+    - [Predicate_through]: wish jumps and wish joins are forced to fall
+      through. Because everything they would have jumped over is guarded
+      by the complementary predicate (or marked speculative), this is
+      architecturally equivalent; it yields a linear trace covering both
+      arms of each wish region, which the timing simulator's oracle
+      needs. Wish loops keep their real semantics in both modes. *)
+
+type mode = Architectural | Predicate_through
+
+(** Dynamic facts about one executed instruction — exactly what the timing
+    simulator's oracle needs beyond the static code image. *)
+type step = {
+  pc : int;
+  guard_true : bool;
+  taken : bool;  (** branch direction; false for non-branches *)
+  next_pc : int;  (** successor in this mode's order *)
+  addr : int;  (** accessed memory word address, or -1 *)
+}
+
+val eval_alu : Wish_isa.Inst.aluop -> int -> int -> int
+val eval_cmp : Wish_isa.Inst.cmpop -> int -> int -> bool
+
+(** [step mode code st] executes the instruction at [st.pc], updates [st]
+    and returns the dynamic facts. Must not be called when [st.halted]. *)
+val step : mode -> Wish_isa.Code.t -> State.t -> step
+
+exception Out_of_fuel of int
+
+(** [run ?mode ?fuel program] executes to completion; raises
+    {!Out_of_fuel} past [fuel] retired instructions (runaway guard). *)
+val run : ?mode:mode -> ?fuel:int -> Wish_isa.Program.t -> State.t

@@ -1,0 +1,28 @@
+(** Flat word-addressed data memory. One word = one OCaml int; the memory
+    hierarchy maps word address [a] to byte address [8*a]. *)
+
+type t = { words : int array }
+
+exception Fault of int
+
+let create ~words = { words = Array.make words 0 }
+
+let of_program (p : Wish_isa.Program.t) =
+  let t = create ~words:p.mem_words in
+  List.iter (fun (addr, v) -> t.words.(addr) <- v) p.data;
+  t
+
+let size t = Array.length t.words
+
+let read t addr =
+  if addr < 0 || addr >= Array.length t.words then raise (Fault addr);
+  t.words.(addr)
+
+let write t addr v =
+  if addr < 0 || addr >= Array.length t.words then raise (Fault addr);
+  t.words.(addr) <- v
+
+(** [checksum t] folds the whole memory into one value; used as the golden
+    output when comparing binaries for architectural equivalence. *)
+let checksum t =
+  Array.fold_left (fun acc w -> (acc * 31) + w + 17 |> fun x -> x land max_int) 0 t.words

@@ -1,0 +1,78 @@
+(** ISA-level dynamic profiling: per-branch execution/taken counts and
+    instruction mix, computed from an architectural-mode run. Feeds the
+    Table 4-style benchmark characterization. *)
+
+open Wish_isa
+
+type branch_stats = { mutable executed : int; mutable taken : int }
+
+type t = {
+  branches : (int, branch_stats) Hashtbl.t; (* pc -> stats, conditional only *)
+  mutable dynamic_insts : int;
+  mutable dynamic_cond_branches : int;
+  mutable dynamic_wish_branches : int;
+  mutable dynamic_wish_loops : int;
+  mutable guard_false_insts : int;
+  mutable loads : int;
+  mutable stores : int;
+}
+
+let create () =
+  {
+    branches = Hashtbl.create 256;
+    dynamic_insts = 0;
+    dynamic_cond_branches = 0;
+    dynamic_wish_branches = 0;
+    dynamic_wish_loops = 0;
+    guard_false_insts = 0;
+    loads = 0;
+    stores = 0;
+  }
+
+let branch_cell t pc =
+  match Hashtbl.find_opt t.branches pc with
+  | Some c -> c
+  | None ->
+    let c = { executed = 0; taken = 0 } in
+    Hashtbl.add t.branches pc c;
+    c
+
+let record t code (s : Exec.step) =
+  t.dynamic_insts <- t.dynamic_insts + 1;
+  if not s.guard_true then t.guard_false_insts <- t.guard_false_insts + 1;
+  let i = Code.get code s.pc in
+  (match i.op with
+  | Inst.Load _ -> if s.guard_true then t.loads <- t.loads + 1
+  | Inst.Store _ -> if s.guard_true then t.stores <- t.stores + 1
+  | Inst.Branch { kind; _ } ->
+    t.dynamic_cond_branches <- t.dynamic_cond_branches + 1;
+    (match kind with
+    | Inst.Cond -> ()
+    | Inst.Wish_jump | Inst.Wish_join | Inst.Wish_loop ->
+      t.dynamic_wish_branches <- t.dynamic_wish_branches + 1;
+      if kind = Inst.Wish_loop then t.dynamic_wish_loops <- t.dynamic_wish_loops + 1);
+    let c = branch_cell t s.pc in
+    c.executed <- c.executed + 1;
+    (* The architectural direction of a guarded branch is its guard. *)
+    if s.guard_true then c.taken <- c.taken + 1
+  | Inst.Alu _ | Inst.Cmp _ | Inst.Pset _ | Inst.Jump _ | Inst.Call _ | Inst.Return
+  | Inst.Halt | Inst.Nop ->
+    ())
+
+(** [of_program program] profiles a full architectural run. *)
+let of_program ?(fuel = 200_000_000) program =
+  let st = State.create program in
+  let code = Program.code program in
+  let t = create () in
+  while not st.halted do
+    if st.retired >= fuel then raise (Exec.Out_of_fuel fuel);
+    record t code (Exec.step Exec.Architectural code st)
+  done;
+  (t, st)
+
+let taken_rate t pc =
+  match Hashtbl.find_opt t.branches pc with
+  | None -> 0.0
+  | Some c -> if c.executed = 0 then 0.0 else float_of_int c.taken /. float_of_int c.executed
+
+let static_branch_count t = Hashtbl.length t.branches

@@ -1,0 +1,75 @@
+(** Correct-path traces.
+
+    The trace is the emulator's predicate-through execution recorded one
+    entry per retired instruction (NOP-guarded entries included). It plays
+    the role of the paper's Pin-generated IA-64 traces: the oracle that
+    directs the timing simulator's correct-path fetch. Stored as a struct
+    of arrays to keep multi-million-entry traces cheap. *)
+
+open Wish_isa
+
+type t = {
+  mutable len : int;
+  mutable pcs : int array;
+  mutable next_pcs : int array;
+  mutable addrs : int array;
+  mutable flags : Bytes.t; (* bit0 = guard_true, bit1 = taken *)
+}
+
+let create () =
+  let n = 1 lsl 16 in
+  {
+    len = 0;
+    pcs = Array.make n 0;
+    next_pcs = Array.make n 0;
+    addrs = Array.make n (-1);
+    flags = Bytes.make n '\000';
+  }
+
+let grow t =
+  let n = Array.length t.pcs in
+  let n' = n * 2 in
+  let extend a fill =
+    let a' = Array.make n' fill in
+    Array.blit a 0 a' 0 n;
+    a'
+  in
+  t.pcs <- extend t.pcs 0;
+  t.next_pcs <- extend t.next_pcs 0;
+  t.addrs <- extend t.addrs (-1);
+  let f = Bytes.make n' '\000' in
+  Bytes.blit t.flags 0 f 0 n;
+  t.flags <- f
+
+let push t (s : Exec.step) =
+  if t.len = Array.length t.pcs then grow t;
+  let i = t.len in
+  t.pcs.(i) <- s.pc;
+  t.next_pcs.(i) <- s.next_pc;
+  t.addrs.(i) <- s.addr;
+  Bytes.unsafe_set t.flags i
+    (Char.chr ((if s.guard_true then 1 else 0) lor if s.taken then 2 else 0));
+  t.len <- i + 1
+
+let length t = t.len
+let pc t i = t.pcs.(i)
+let next_pc t i = t.next_pcs.(i)
+let addr t i = t.addrs.(i)
+let guard_true t i = Char.code (Bytes.unsafe_get t.flags i) land 1 <> 0
+let taken t i = Char.code (Bytes.unsafe_get t.flags i) land 2 <> 0
+
+exception Out_of_fuel = Exec.Out_of_fuel
+
+(** [generate ?fuel program] runs the emulator in predicate-through mode and
+    records the trace. Returns the trace and the final architectural state
+    (whose {!State.outcome} must equal the architectural-mode outcome — a
+    property the test suite checks). *)
+let generate ?(fuel = 200_000_000) program =
+  let st = State.create program in
+  let code = Program.code program in
+  let t = create () in
+  while not st.halted do
+    if st.retired >= fuel then raise (Out_of_fuel fuel);
+    push t (Exec.step Exec.Predicate_through code st)
+  done;
+  (t, st)

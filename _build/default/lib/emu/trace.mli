@@ -1,0 +1,24 @@
+(** Correct-path traces.
+
+    A trace is the emulator's predicate-through execution recorded one
+    entry per retired instruction (guard-false NOP entries included). It
+    plays the role of the paper's Pin-generated IA-64 traces: the oracle
+    that directs the timing simulator's correct-path fetch. Stored as a
+    struct of arrays so multi-million-entry traces stay cheap. *)
+
+type t
+
+val length : t -> int
+val pc : t -> int -> int
+val next_pc : t -> int -> int
+val addr : t -> int -> int
+val guard_true : t -> int -> bool
+val taken : t -> int -> bool
+
+exception Out_of_fuel of int
+
+(** [generate ?fuel program] runs the emulator in predicate-through mode
+    and records the trace. Returns the trace and the final architectural
+    state (whose {!State.outcome} equals the architectural-mode outcome —
+    a property the test suite checks). *)
+val generate : ?fuel:int -> Wish_isa.Program.t -> t * State.t

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Codegen Compiler Figures Lab List Policy Printf Wish_bpred Wish_compiler Wish_isa Wish_sim Wish_util Wish_workloads

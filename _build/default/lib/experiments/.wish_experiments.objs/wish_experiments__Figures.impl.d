@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Compiler Lab List Policy Printf Wish_compiler Wish_isa Wish_sim Wish_util

@@ -1,0 +1,1 @@
+lib/experiments/figures.mli: Lab Wish_compiler Wish_sim Wish_util

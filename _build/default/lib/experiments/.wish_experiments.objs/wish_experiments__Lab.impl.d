@@ -1,0 +1,1 @@
+lib/experiments/lab.ml: Compiler Hashtbl List Option Policy Printf Wish_compiler Wish_emu Wish_sim Wish_workloads

@@ -1,0 +1,1 @@
+lib/experiments/lab.mli: Wish_compiler Wish_emu Wish_isa Wish_sim Wish_workloads

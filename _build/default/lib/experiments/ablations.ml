@@ -1,0 +1,123 @@
+(** Ablation studies for the design choices DESIGN.md calls out. These go
+    beyond the paper's own evaluation: they isolate the contribution of
+    individual mechanisms in this implementation. *)
+
+open Wish_compiler
+module Table = Wish_util.Table
+module Config = Wish_sim.Config
+
+let f3 = Table.fmt_float ~decimals:3
+
+(* ------------------------------------------------------------------ *)
+(* A1: the specialized wish-loop predictor (paper Section 3.2)          *)
+(* ------------------------------------------------------------------ *)
+
+(** Wish-jjl with and without the overestimate-biased wish-loop predictor
+    (without it, wish loops are steered by the hybrid predictor alone). *)
+let loop_predictor lab =
+  Figures.exec_time_table lab
+    ~title:"Ablation A1: wish-jjl with/without the specialized wish-loop predictor"
+    [
+      {
+        Figures.label = "with loop predictor (default)";
+        kind = Policy.Wish_jjl;
+        config = Config.default;
+      };
+      {
+        Figures.label = "hybrid only";
+        kind = Policy.Wish_jjl;
+        config = { Config.default with Config.use_loop_predictor = false };
+      };
+      { Figures.label = "wish-jj (no loops)"; kind = Policy.Wish_jj; config = Config.default };
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* A2: confidence estimator threshold                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** JRS threshold sweep: a low threshold reaches high confidence quickly
+    (less predication, more flush risk); a high threshold predicates more. *)
+let confidence_threshold lab =
+  let with_threshold n =
+    { Config.default with Config.conf = { Config.default.Config.conf with Wish_bpred.Confidence.threshold = n } }
+  in
+  Figures.exec_time_table lab
+    ~title:"Ablation A2: JRS confidence threshold (wish-jjl binary)"
+    (List.map
+       (fun n ->
+         {
+           Figures.label = Printf.sprintf "threshold %d%s" n (if n = 10 then " (default)" else "");
+           kind = Policy.Wish_jjl;
+           config = with_threshold n;
+         })
+       [ 4; 7; 10; 13; 15 ])
+
+(* ------------------------------------------------------------------ *)
+(* A3: wish binaries on hardware without wish support (Section 3.4)     *)
+(* ------------------------------------------------------------------ *)
+
+(** The paper's forward-compatibility argument: wish binaries run
+    correctly on processors that ignore the hint bits — but then every
+    wish branch behaves like a normal branch over predicated code. *)
+let no_wish_hardware lab =
+  Figures.exec_time_table lab
+    ~title:"Ablation A3: wish-jjl binary with wish hardware disabled"
+    [
+      { Figures.label = "wish hardware on"; kind = Policy.Wish_jjl; config = Config.default };
+      {
+        Figures.label = "hint bits ignored";
+        kind = Policy.Wish_jjl;
+        config = { Config.default with Config.wish_hardware = false };
+      };
+      { Figures.label = "BASE-MAX (reference)"; kind = Policy.Base_max; config = Config.default };
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* A4: compiler wish-jump threshold N (Section 4.2.2)                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Recompile a subset of workloads with different N (minimum jumped-over
+    block size for wish conversion; below it, regions are predicated).
+    N=0 converts everything; a huge N predicates everything (wish-jj
+    degenerates to BASE-MAX). This bypasses the lab's binary cache. *)
+let wish_threshold_n lab =
+  let names = [ "gzip"; "twolf"; "gap" ] in
+  let names = List.filter (fun n -> List.mem n (Lab.bench_names lab)) names in
+  let t =
+    Table.create ~title:"Ablation A4: compiler wish-jump threshold N (wish-jj binary)"
+      ~header:("benchmark" :: List.map (fun n -> "N=" ^ string_of_int n) [ 0; 5; 100 ])
+      ~aligns:(Table.Left :: List.map (fun _ -> Table.Right) [ 0; 5; 100 ])
+  in
+  List.iter
+    (fun name ->
+      let bench = Lab.bench lab name in
+      let profile =
+        let normal, bmap = Compiler.compile_kind ~mem_words:bench.mem_words ~name bench.ast Policy.Normal in
+        Compiler.profile_of_run
+          (Wish_isa.Program.with_data normal (Wish_workloads.Bench.profile_data bench))
+          bmap
+      in
+      let cycles n =
+        let policy = Policy.create ~profile ~wish_threshold_n:n Policy.Wish_jj in
+        let program, _ =
+          Codegen.compile ~mem_words:bench.mem_words ~policy ~name:(name ^ ".n") bench.ast
+        in
+        let program = Wish_workloads.Bench.program_for bench program Lab.eval_input in
+        (Wish_sim.Runner.simulate program).Wish_sim.Runner.cycles
+      in
+      let base = (Lab.run lab ~bench:name ~kind:Policy.Normal ()).Wish_sim.Runner.cycles in
+      Table.add_row t
+        (name
+        :: List.map (fun n -> f3 (float_of_int (cycles n) /. float_of_int base)) [ 0; 5; 100 ]))
+    names;
+  t
+
+let all =
+  [
+    ("abl-loop-pred", loop_predictor);
+    ("abl-conf-threshold", confidence_threshold);
+    ("abl-no-wish-hw", no_wish_hardware);
+    ("abl-wish-n", wish_threshold_n);
+  ]
+
+let find name = List.assoc_opt name all

@@ -1,0 +1,415 @@
+(** Generators for every table and figure of the paper's evaluation.
+
+    Each generator returns a {!Wish_util.Table.t} whose rows mirror the
+    corresponding artifact's bars/series. Execution-time figures report
+    times normalized to the normal-branch binary (lower is better), with
+    the paper's AVG / AVGnomcf convention. *)
+
+open Wish_compiler
+module Table = Wish_util.Table
+module Stats = Wish_util.Stats
+module Config = Wish_sim.Config
+
+let pct = Table.fmt_percent
+let f3 = Table.fmt_float ~decimals:3
+
+(* Machine-configuration variants. *)
+
+let with_knobs k = { Config.default with Config.knobs = k }
+let perfect_conf c = { c with Config.knobs = { c.Config.knobs with Config.perfect_conf = true } }
+
+let select_mech c = { c with Config.mech = Config.Select_uop }
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1: predicated code vs inputs on the "real machine"           *)
+(* ------------------------------------------------------------------ *)
+
+(** Figure 1: execution time of the aggressively predicated (BASE-MAX)
+    binary on inputs A/B/C, each normalized to the normal binary on the
+    same input. The paper measured ORC's predicated output on an
+    Itanium-II; we use BASE-MAX because our profile-guided BASE-DEF is
+    conservative enough to keep most branches. The point is preserved: the
+    same predicated binary wins on some inputs and loses on others. *)
+let fig1 lab =
+  let t =
+    Table.create ~title:"Figure 1: predicated (BASE-MAX) binary vs input set"
+      ~header:[ "benchmark"; "input-A"; "input-B"; "input-C" ]
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+  in
+  List.iter
+    (fun name ->
+      let v input = Lab.normalized lab ~bench:name ~kind:Policy.Base_max ~input () in
+      Table.add_row t [ name; f3 (v "A"); f3 (v "B"); f3 (v "C") ])
+    (Lab.bench_names lab);
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2: idealized predication overheads                           *)
+(* ------------------------------------------------------------------ *)
+
+let fig2_cases =
+  [
+    ("BASE-MAX", Policy.Base_max, Config.no_knobs);
+    ("NO-DEPEND", Policy.Base_max, { Config.no_knobs with Config.no_depend = true });
+    ( "NO-DEPEND+NO-FETCH",
+      Policy.Base_max,
+      { Config.no_knobs with Config.no_depend = true; no_fetch = true } );
+    ("PERFECT-CBP", Policy.Normal, { Config.no_knobs with Config.perfect_bp = true });
+  ]
+
+(** Figure 2: execution time when the sources of predication overhead are
+    ideally removed (oracle knobs), plus perfect conditional branch
+    prediction, normalized to the normal binary. *)
+let fig2 lab =
+  let t =
+    Table.create ~title:"Figure 2: idealized elimination of predication overhead"
+      ~header:("benchmark" :: List.map (fun (l, _, _) -> l) fig2_cases)
+      ~aligns:(Table.Left :: List.map (fun _ -> Table.Right) fig2_cases)
+  in
+  let value name (_, kind, knobs) =
+    Lab.normalized lab ~bench:name ~kind ~config:(with_knobs knobs) ()
+  in
+  List.iter
+    (fun name -> Table.add_row t (name :: List.map (fun c -> f3 (value name c)) fig2_cases))
+    (Lab.bench_names lab);
+  Table.add_separator t;
+  List.iter
+    (fun (label, get) ->
+      Table.add_row t (label :: List.map (fun c -> f3 (get c)) fig2_cases))
+    [
+      ("AVG", fun c -> Lab.mean (List.map (fun n -> value n c) (Lab.bench_names lab)));
+      ( "AVGnomcf",
+        fun c ->
+          Lab.mean
+            (List.filter_map
+               (fun n -> if n = "mcf" then None else Some (value n c))
+               (Lab.bench_names lab)) );
+    ];
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Execution-time comparisons (Figures 10, 12, 14, 15, 16)             *)
+(* ------------------------------------------------------------------ *)
+
+type bar = { label : string; kind : Policy.kind; config : Config.t }
+
+let bars_fig10 =
+  [
+    { label = "BASE-DEF"; kind = Policy.Base_def; config = Config.default };
+    { label = "BASE-MAX"; kind = Policy.Base_max; config = Config.default };
+    { label = "wish-jj (real-conf)"; kind = Policy.Wish_jj; config = Config.default };
+    { label = "wish-jj (perf-conf)"; kind = Policy.Wish_jj; config = perfect_conf Config.default };
+  ]
+
+let bars_fig12 =
+  [
+    { label = "BASE-DEF"; kind = Policy.Base_def; config = Config.default };
+    { label = "BASE-MAX"; kind = Policy.Base_max; config = Config.default };
+    { label = "wish-jj (real-conf)"; kind = Policy.Wish_jj; config = Config.default };
+    { label = "wish-jjl (real-conf)"; kind = Policy.Wish_jjl; config = Config.default };
+    { label = "wish-jjl (perf-conf)"; kind = Policy.Wish_jjl; config = perfect_conf Config.default };
+  ]
+
+(** Shared renderer: one column per bar, one row per benchmark plus the
+    AVG / AVGnomcf rows; values normalized per-benchmark to the normal
+    binary under the same configuration. *)
+let exec_time_table lab ~title bars =
+  let t =
+    Table.create ~title
+      ~header:("benchmark" :: List.map (fun b -> b.label) bars)
+      ~aligns:(Table.Left :: List.map (fun _ -> Table.Right) bars)
+  in
+  let value name bar = Lab.normalized lab ~bench:name ~kind:bar.kind ~config:bar.config () in
+  List.iter
+    (fun name -> Table.add_row t (name :: List.map (fun b -> f3 (value name b)) bars))
+    (Lab.bench_names lab);
+  Table.add_separator t;
+  Table.add_row t
+    ("AVG" :: List.map (fun b -> f3 (Lab.mean (List.map (fun n -> value n b) (Lab.bench_names lab)))) bars);
+  Table.add_row t
+    ("AVGnomcf"
+    :: List.map
+         (fun b ->
+           f3
+             (Lab.mean
+                (List.filter_map
+                   (fun n -> if n = "mcf" then None else Some (value n b))
+                   (Lab.bench_names lab))))
+         bars);
+  t
+
+let fig10 lab = exec_time_table lab ~title:"Figure 10: performance of wish jump/join binaries" bars_fig10
+
+let fig12 lab =
+  exec_time_table lab ~title:"Figure 12: performance of wish jump/join/loop binaries" bars_fig12
+
+(** Figure 14: effect of instruction window size (128/256/512). Reports
+    AVG and AVGnomcf per window size, normalized to the normal binary on
+    the same window size. *)
+let fig14 lab =
+  let bars rob =
+    let base = Config.with_rob Config.default rob in
+    [
+      { label = "BASE-DEF"; kind = Policy.Base_def; config = base };
+      { label = "BASE-MAX"; kind = Policy.Base_max; config = base };
+      { label = "wish-jjl (real-conf)"; kind = Policy.Wish_jjl; config = base };
+      { label = "wish-jjl (perf-conf)"; kind = Policy.Wish_jjl; config = perfect_conf base };
+    ]
+  in
+  let t =
+    Table.create ~title:"Figure 14: effect of instruction window size"
+      ~header:[ "window"; "average"; "BASE-DEF"; "BASE-MAX"; "wish-jjl (real)"; "wish-jjl (perf)" ]
+      ~aligns:[ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+  in
+  List.iter
+    (fun rob ->
+      let bars = bars rob in
+      let value name bar = Lab.normalized lab ~bench:name ~kind:bar.kind ~config:bar.config () in
+      let avg filter =
+        List.map
+          (fun b ->
+            f3
+              (Lab.mean
+                 (List.filter_map
+                    (fun n -> if filter n then Some (value n b) else None)
+                    (Lab.bench_names lab))))
+          bars
+      in
+      Table.add_row t ((string_of_int rob ^ "-entry") :: "AVG" :: avg (fun _ -> true));
+      Table.add_row t
+        ((string_of_int rob ^ "-entry") :: "AVGnomcf" :: avg (fun n -> n <> "mcf")))
+    [ 128; 256; 512 ];
+  t
+
+(** Figure 15: effect of pipeline depth (10/20/30 stages, 256-entry
+    window). *)
+let fig15 lab =
+  let bars stages =
+    let base = Config.with_pipeline_stages (Config.with_rob Config.default 256) stages in
+    [
+      { label = "BASE-DEF"; kind = Policy.Base_def; config = base };
+      { label = "BASE-MAX"; kind = Policy.Base_max; config = base };
+      { label = "wish-jjl (real-conf)"; kind = Policy.Wish_jjl; config = base };
+      { label = "wish-jjl (perf-conf)"; kind = Policy.Wish_jjl; config = perfect_conf base };
+    ]
+  in
+  let t =
+    Table.create ~title:"Figure 15: effect of pipeline depth (256-entry window)"
+      ~header:[ "stages"; "average"; "BASE-DEF"; "BASE-MAX"; "wish-jjl (real)"; "wish-jjl (perf)" ]
+      ~aligns:[ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+  in
+  List.iter
+    (fun stages ->
+      let bars = bars stages in
+      let value name bar = Lab.normalized lab ~bench:name ~kind:bar.kind ~config:bar.config () in
+      let avg filter =
+        List.map
+          (fun b ->
+            f3
+              (Lab.mean
+                 (List.filter_map
+                    (fun n -> if filter n then Some (value n b) else None)
+                    (Lab.bench_names lab))))
+          bars
+      in
+      Table.add_row t ((string_of_int stages ^ "-stage") :: "AVG" :: avg (fun _ -> true));
+      Table.add_row t
+        ((string_of_int stages ^ "-stage") :: "AVGnomcf" :: avg (fun n -> n <> "mcf")))
+    [ 10; 20; 30 ];
+  t
+
+(** Figure 16: the select-µop predication support mechanism. *)
+let fig16 lab =
+  let c = select_mech Config.default in
+  exec_time_table lab
+    ~title:"Figure 16: performance with the select-uop mechanism"
+    [
+      { label = "BASE-DEF"; kind = Policy.Base_def; config = c };
+      { label = "BASE-MAX"; kind = Policy.Base_max; config = c };
+      { label = "wish-jj (real-conf)"; kind = Policy.Wish_jj; config = c };
+      { label = "wish-jjl (real-conf)"; kind = Policy.Wish_jjl; config = c };
+      { label = "wish-jjl (perf-conf)"; kind = Policy.Wish_jjl; config = perfect_conf c };
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Figures 11 and 13: dynamic wish-branch classification               *)
+(* ------------------------------------------------------------------ *)
+
+let per_million s v =
+  let retired = Stats.get s "retired_correct" in
+  if retired = 0 then 0.0 else 1_000_000.0 *. float_of_int v /. float_of_int retired
+
+(** Figure 11: dynamic wish branches per 1M retired µops in the wish
+    jump/join binary, classified by confidence estimate and by whether the
+    branch predictor's prediction was correct. *)
+let fig11 lab =
+  let t =
+    Table.create
+      ~title:"Figure 11: dynamic wish branches per 1M uops (wish jump/join binary)"
+      ~header:
+        [ "benchmark"; "low (mispred)"; "low (correct)"; "high (mispred)"; "high (correct)" ]
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+  in
+  List.iter
+    (fun name ->
+      let s = (Lab.run lab ~bench:name ~kind:Policy.Wish_jj ()).stats in
+      let v key = Printf.sprintf "%.0f" (per_million s (Stats.get s key)) in
+      Table.add_row t
+        [ name; v "wish_low_mispred"; v "wish_low_correct"; v "wish_high_mispred"; v "wish_high_correct" ])
+    (Lab.bench_names lab);
+  t
+
+(** Figure 13: dynamic wish loops per 1M retired µops in the wish
+    jump/join/loop binary, classified by confidence and misprediction case
+    (early-exit / late-exit / no-exit). *)
+let fig13 lab =
+  let t =
+    Table.create
+      ~title:"Figure 13: dynamic wish loops per 1M uops (wish jump/join/loop binary)"
+      ~header:
+        [
+          "benchmark";
+          "low (no-exit)";
+          "low (late-exit)";
+          "low (early-exit)";
+          "low (correct)";
+          "high (mispred)";
+          "high (correct)";
+        ]
+      ~aligns:
+        [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
+  in
+  List.iter
+    (fun name ->
+      let s = (Lab.run lab ~bench:name ~kind:Policy.Wish_jjl ()).stats in
+      let v key = Printf.sprintf "%.0f" (per_million s (Stats.get s key)) in
+      Table.add_row t
+        [
+          name;
+          v "loop_low_noexit";
+          v "loop_low_late";
+          v "loop_low_early";
+          v "loop_low_correct";
+          v "loop_high_mispred";
+          v "loop_high_correct";
+        ])
+    (Lab.bench_names lab);
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Table 4: benchmark characterization                                 *)
+(* ------------------------------------------------------------------ *)
+
+let table4 lab =
+  let t =
+    Table.create ~title:"Table 4: simulated benchmarks (input A)"
+      ~header:
+        [
+          "benchmark";
+          "dyn insts";
+          "dyn uops";
+          "static br";
+          "dyn br";
+          "misp/1K uops";
+          "uPC";
+          "static wish (%loop)";
+          "dyn wish (%loop)";
+        ]
+      ~aligns:
+        [
+          Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right;
+          Table.Right; Table.Right; Table.Right;
+        ]
+  in
+  List.iter
+    (fun name ->
+      let s = Lab.run lab ~bench:name ~kind:Policy.Normal () in
+      let sw = Lab.run lab ~bench:name ~kind:Policy.Wish_jjl () in
+      let code k = Wish_isa.Program.code (Compiler.binary (Lab.binaries lab name) k) in
+      let wish_code = code Policy.Wish_jjl in
+      let static_wish = Wish_isa.Code.static_wish_branches wish_code in
+      let static_loops = Wish_isa.Code.static_wish_loops wish_code in
+      let dyn_wish = Stats.get sw.stats "wish_retired" in
+      let dyn_loops = Stats.get sw.stats "wish_loop_retired" in
+      let pct_of part whole = if whole = 0 then 0.0 else 100.0 *. float_of_int part /. float_of_int whole in
+      Table.add_row t
+        [
+          name;
+          string_of_int s.dynamic_insts;
+          string_of_int s.retired_uops;
+          string_of_int (Wish_isa.Code.static_conditional_branches (code Policy.Normal));
+          string_of_int s.cond_branches;
+          Printf.sprintf "%.1f"
+            (1000.0 *. float_of_int s.mispredicts /. float_of_int (max 1 s.retired_uops));
+          Printf.sprintf "%.2f" s.upc;
+          Printf.sprintf "%d (%.0f%%)" static_wish (pct_of static_loops static_wish);
+          Printf.sprintf "%d (%.0f%%)" dyn_wish (pct_of dyn_loops dyn_wish);
+        ])
+    (Lab.bench_names lab);
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Table 5: wish jjl binary vs the best-performing other binary        *)
+(* ------------------------------------------------------------------ *)
+
+let table5 lab =
+  let names = Lab.bench_names lab in
+  let t =
+    Table.create
+      ~title:"Table 5: exec-time reduction of wish-jjl vs best-performing binaries (real conf)"
+      ~header:("comparison" :: names @ [ "AVG" ])
+      ~aligns:(Table.Left :: List.map (fun _ -> Table.Right) (names @ [ "AVG" ]))
+  in
+  let cycles name kind = float_of_int (Lab.run lab ~bench:name ~kind ()).cycles in
+  let wish name = cycles name Policy.Wish_jjl in
+  let reduction name other = 100.0 *. (1.0 -. (wish name /. other)) in
+  let rows =
+    [
+      ( "vs normal branch binary",
+        fun name -> (reduction name (cycles name Policy.Normal), "") );
+      ( "vs best predicated binary",
+        fun name ->
+          let d = cycles name Policy.Base_def and m = cycles name Policy.Base_max in
+          if d <= m then (reduction name d, "DEF") else (reduction name m, "MAX") );
+      ( "vs best non-wish binary",
+        fun name ->
+          let candidates =
+            [ ("BR", cycles name Policy.Normal); ("DEF", cycles name Policy.Base_def);
+              ("MAX", cycles name Policy.Base_max) ]
+          in
+          let tag, best =
+            List.fold_left (fun (bt, bv) (tag, v) -> if v < bv then (tag, v) else (bt, bv))
+              (List.hd candidates |> fun (a, b) -> (a, b))
+              (List.tl candidates)
+          in
+          (reduction name best, tag) );
+    ]
+  in
+  List.iter
+    (fun (label, f) ->
+      let cells = List.map (fun n -> let r, tag = f n in Printf.sprintf "%s%s" (pct r) (if tag = "" then "" else " (" ^ tag ^ ")")) names in
+      let avg = Lab.mean (List.map (fun n -> fst (f n)) names) in
+      Table.add_row t ((label :: cells) @ [ pct avg ]))
+    rows;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* All artifacts                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let all =
+  [
+    ("fig1", fig1);
+    ("fig2", fig2);
+    ("fig10", fig10);
+    ("fig11", fig11);
+    ("fig12", fig12);
+    ("fig13", fig13);
+    ("fig14", fig14);
+    ("fig15", fig15);
+    ("fig16", fig16);
+    ("tab4", table4);
+    ("tab5", table5);
+  ]
+
+let find name = List.assoc_opt name all

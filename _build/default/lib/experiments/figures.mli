@@ -1,0 +1,35 @@
+(** Generators for every table and figure of the paper's evaluation.
+
+    Each generator returns a {!Wish_util.Table.t} whose rows mirror the
+    corresponding artifact's bars/series; execution-time figures report
+    times normalized to the normal-branch binary (lower is better), with
+    the paper's AVG / AVGnomcf convention. See DESIGN.md section 3 for the
+    per-experiment index and EXPERIMENTS.md for paper-vs-measured. *)
+
+type bar = {
+  label : string;
+  kind : Wish_compiler.Policy.kind;
+  config : Wish_sim.Config.t;
+}
+
+(** [exec_time_table lab ~title bars] — the shared renderer: one column
+    per bar, one row per benchmark, plus AVG/AVGnomcf rows. Exposed for
+    custom comparisons and the ablation studies. *)
+val exec_time_table : Lab.t -> title:string -> bar list -> Wish_util.Table.t
+
+val fig1 : Lab.t -> Wish_util.Table.t
+val fig2 : Lab.t -> Wish_util.Table.t
+val fig10 : Lab.t -> Wish_util.Table.t
+val fig11 : Lab.t -> Wish_util.Table.t
+val fig12 : Lab.t -> Wish_util.Table.t
+val fig13 : Lab.t -> Wish_util.Table.t
+val fig14 : Lab.t -> Wish_util.Table.t
+val fig15 : Lab.t -> Wish_util.Table.t
+val fig16 : Lab.t -> Wish_util.Table.t
+val table4 : Lab.t -> Wish_util.Table.t
+val table5 : Lab.t -> Wish_util.Table.t
+
+(** All artifacts by id: fig1, fig2, fig10–fig16, tab4, tab5. *)
+val all : (string * (Lab.t -> Wish_util.Table.t)) list
+
+val find : string -> (Lab.t -> Wish_util.Table.t) option

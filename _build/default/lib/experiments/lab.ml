@@ -1,0 +1,104 @@
+(** The lab: compiles each workload's five binaries once, memoizes emulator
+    traces and simulation results, and hands figure generators their data.
+
+    Evaluation protocol (mirroring the paper's methodology):
+    - binaries are compiled with profile feedback from each workload's
+      designated training input (input B by convention);
+    - unless a figure says otherwise (Figure 1 sweeps inputs), simulations
+      run on input A — an input the compiler did not train on;
+    - execution times are reported normalized to the normal-branch binary
+      under the same machine configuration. *)
+
+open Wish_compiler
+
+type t = {
+  scale : int;
+  mutable benches : Wish_workloads.Bench.t list;
+  binaries : (string, Compiler.binaries) Hashtbl.t;
+  traces : (string * string * string, Wish_emu.Trace.t) Hashtbl.t;
+  results : (string * string * string * Wish_sim.Config.t, Wish_sim.Runner.summary) Hashtbl.t;
+  mutable log : string -> unit;
+}
+
+let eval_input = "A"
+
+let create ?(scale = 1) ?names () =
+  let names = Option.value names ~default:Wish_workloads.Workloads.names in
+  {
+    scale;
+    benches = List.map (Wish_workloads.Workloads.find ~scale) names;
+    binaries = Hashtbl.create 16;
+    traces = Hashtbl.create 64;
+    results = Hashtbl.create 256;
+    log = ignore;
+  }
+
+let set_logger t f = t.log <- f
+
+let benches t = t.benches
+let bench_names t = List.map (fun (b : Wish_workloads.Bench.t) -> b.name) t.benches
+
+let bench t name =
+  match List.find_opt (fun (b : Wish_workloads.Bench.t) -> b.name = name) t.benches with
+  | Some b -> b
+  | None -> invalid_arg ("Lab: unknown bench " ^ name)
+
+let binaries t name =
+  match Hashtbl.find_opt t.binaries name with
+  | Some b -> b
+  | None ->
+    let b = bench t name in
+    t.log (Printf.sprintf "compiling %s (5 binaries, profile input %s)" name b.profile_input);
+    let bins =
+      Compiler.compile_all ~mem_words:b.mem_words ~name
+        ~profile_data:(Wish_workloads.Bench.profile_data b) b.ast
+    in
+    Hashtbl.add t.binaries name bins;
+    bins
+
+let program t ~bench:name ~kind ~input =
+  let b = bench t name in
+  Wish_workloads.Bench.program_for b (Compiler.binary (binaries t name) kind) input
+
+let trace t ~bench:name ~kind ~input =
+  let key = (name, Policy.kind_name kind, input) in
+  match Hashtbl.find_opt t.traces key with
+  | Some tr -> tr
+  | None ->
+    let tr, _ = Wish_emu.Trace.generate (program t ~bench:name ~kind ~input) in
+    Hashtbl.add t.traces key tr;
+    tr
+
+(** [run t ~bench ~kind ?input ?config ()] — memoized simulation. *)
+let run t ~bench:name ~kind ?(input = eval_input) ?(config = Wish_sim.Config.default) () =
+  let key = (name, Policy.kind_name kind, input, config) in
+  match Hashtbl.find_opt t.results key with
+  | Some s -> s
+  | None ->
+    let tr = trace t ~bench:name ~kind ~input in
+    let p = program t ~bench:name ~kind ~input in
+    t.log
+      (Printf.sprintf "simulating %s/%s input %s (%d dynamic insts)" name
+         (Policy.kind_name kind) input (Wish_emu.Trace.length tr));
+    let s = Wish_sim.Runner.simulate ~config ~trace:tr p in
+    Hashtbl.add t.results key s;
+    s
+
+(** Execution time normalized to the normal-branch binary on the same input
+    and the same machine — with the oracle idealization knobs stripped from
+    the baseline (the paper normalizes PERFECT-CBP and perf-conf bars to
+    the real normal-binary run). *)
+let normalized t ~bench:name ~kind ?input ?(config = Wish_sim.Config.default) () =
+  let s = run t ~bench:name ~kind ?input ~config () in
+  let baseline = { config with Wish_sim.Config.knobs = Wish_sim.Config.no_knobs } in
+  let n = run t ~bench:name ~kind:Policy.Normal ?input ~config:baseline () in
+  float_of_int s.cycles /. float_of_int n.cycles
+
+let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+(** Paper convention (footnote 2): report the average both with and without
+    mcf, whose pathological predication behaviour skews the mean. *)
+let avg_rows names (values : string -> float) =
+  let all = List.map values names in
+  let nomcf = List.filter_map (fun n -> if n = "mcf" then None else Some (values n)) names in
+  [ ("AVG", mean all); ("AVGnomcf", mean nomcf) ]

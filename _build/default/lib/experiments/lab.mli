@@ -1,0 +1,63 @@
+(** The lab: compiles each workload's five binaries once, memoizes
+    emulator traces and simulation results, and hands figure generators
+    their data.
+
+    Evaluation protocol (mirroring the paper's methodology):
+    - binaries are compiled with profile feedback from each workload's
+      designated training input (input B by convention);
+    - unless a figure says otherwise (Figure 1 sweeps inputs), simulations
+      run on input A — an input the compiler did not train on;
+    - execution times are reported normalized to the normal-branch binary
+      under the same machine configuration (oracle knobs stripped from
+      the baseline). *)
+
+type t
+
+(** The default evaluation input label ("A"). *)
+val eval_input : string
+
+(** [create ?scale ?names ()] — [names] restricts the benchmark set. *)
+val create : ?scale:int -> ?names:string list -> unit -> t
+
+(** [set_logger t f] — progress callbacks for compilations/simulations. *)
+val set_logger : t -> (string -> unit) -> unit
+
+val benches : t -> Wish_workloads.Bench.t list
+val bench_names : t -> string list
+val bench : t -> string -> Wish_workloads.Bench.t
+
+(** [binaries t name] — compiled (and cached) five binaries. *)
+val binaries : t -> string -> Wish_compiler.Compiler.binaries
+
+val program :
+  t -> bench:string -> kind:Wish_compiler.Policy.kind -> input:string -> Wish_isa.Program.t
+
+val trace :
+  t -> bench:string -> kind:Wish_compiler.Policy.kind -> input:string -> Wish_emu.Trace.t
+
+(** [run t ~bench ~kind ?input ?config ()] — memoized simulation. *)
+val run :
+  t ->
+  bench:string ->
+  kind:Wish_compiler.Policy.kind ->
+  ?input:string ->
+  ?config:Wish_sim.Config.t ->
+  unit ->
+  Wish_sim.Runner.summary
+
+(** Execution time normalized to the normal-branch binary on the same
+    input and machine (baseline strips the oracle knobs). *)
+val normalized :
+  t ->
+  bench:string ->
+  kind:Wish_compiler.Policy.kind ->
+  ?input:string ->
+  ?config:Wish_sim.Config.t ->
+  unit ->
+  float
+
+val mean : float list -> float
+
+(** [avg_rows names values] — the paper's AVG / AVGnomcf convention
+    (footnote 2: mcf skews the mean). *)
+val avg_rows : string list -> (string -> float) -> (string * float) list

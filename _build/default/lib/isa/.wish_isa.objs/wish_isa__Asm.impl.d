@@ -1,0 +1,1 @@
+lib/isa/asm.pp.ml: Array Code Hashtbl Inst List Reg

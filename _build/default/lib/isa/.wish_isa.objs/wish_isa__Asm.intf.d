@@ -1,0 +1,1 @@
+lib/isa/asm.pp.mli: Code Inst Reg

@@ -1,0 +1,1 @@
+lib/isa/code.pp.ml: Array Fmt Inst Reg

@@ -1,0 +1,1 @@
+lib/isa/code.pp.mli: Format Inst

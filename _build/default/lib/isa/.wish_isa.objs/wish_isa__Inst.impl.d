@@ -1,0 +1,1 @@
+lib/isa/inst.pp.ml: Fmt List Ppx_deriving_runtime Reg

@@ -1,0 +1,1 @@
+lib/isa/inst.pp.mli: Format Ppx_deriving_runtime Reg

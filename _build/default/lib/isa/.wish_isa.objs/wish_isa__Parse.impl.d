@@ -1,0 +1,1 @@
+lib/isa/parse.pp.ml: Asm Buffer Code Filename Fmt Hashtbl Inst List Program Reg String

@@ -1,0 +1,1 @@
+lib/isa/parse.pp.mli: Code Program

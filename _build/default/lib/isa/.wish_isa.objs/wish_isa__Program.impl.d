@@ -1,0 +1,1 @@
+lib/isa/program.pp.ml: Code Fmt List

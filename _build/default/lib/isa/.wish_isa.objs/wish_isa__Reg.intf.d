@@ -1,0 +1,1 @@
+lib/isa/reg.pp.mli: Format Ppx_deriving_runtime

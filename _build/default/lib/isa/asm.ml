@@ -1,0 +1,75 @@
+(** Tiny two-pass assembler: build instruction sequences with symbolic
+    labels, then [assemble] into a {!Code.t}. Used by tests, examples and
+    the compiler's code emitter. *)
+
+type item =
+  | Label of string
+  | Emit of (resolve:(string -> int) -> Inst.t)
+
+exception Undefined_label of string
+exception Duplicate_label of string
+
+let label name = Label name
+
+(* Generic emitters -------------------------------------------------- *)
+
+let inst ?(guard = Reg.p0) ?spec op = Emit (fun ~resolve:_ -> Inst.make ~guard ?spec op)
+
+let alu ?guard ?spec op dst src1 src2 = inst ?guard ?spec (Inst.Alu { op; dst; src1; src2 })
+let add ?guard ?spec dst src1 src2 = alu ?guard ?spec Inst.Add dst src1 src2
+let sub ?guard ?spec dst src1 src2 = alu ?guard ?spec Inst.Sub dst src1 src2
+let mul ?guard ?spec dst src1 src2 = alu ?guard ?spec Inst.Mul dst src1 src2
+
+(** [movi dst n] loads an immediate via the zero register. *)
+let movi ?guard ?spec dst n = add ?guard ?spec dst Reg.r0 (Inst.Imm n)
+
+(** [mov dst src] copies a register. *)
+let mov ?guard ?spec dst src = add ?guard ?spec dst src (Inst.Imm 0)
+
+let cmp ?guard ?spec ?(unc = false) op ?dst_false dst_true src1 src2 =
+  inst ?guard ?spec (Inst.Cmp { op; dst_true; dst_false; src1; src2; unc })
+
+let pset ?guard ?spec dst value = inst ?guard ?spec (Inst.Pset { dst; value })
+let load ?guard ?spec dst base offset = inst ?guard ?spec (Inst.Load { dst; base; offset })
+let store ?guard src base offset = inst ?guard (Inst.Store { src; base; offset })
+
+let branch ?(guard = Reg.p0) kind target_label =
+  Emit
+    (fun ~resolve ->
+      Inst.make ~guard (Inst.Branch { kind; target = resolve target_label }))
+
+let br ?guard l = branch ?guard Inst.Cond l
+let wish_jump ?guard l = branch ?guard Inst.Wish_jump l
+let wish_join ?guard l = branch ?guard Inst.Wish_join l
+let wish_loop ?guard l = branch ?guard Inst.Wish_loop l
+
+let jmp ?(guard = Reg.p0) l =
+  Emit (fun ~resolve -> Inst.make ~guard (Inst.Jump { target = resolve l }))
+
+let call ?(guard = Reg.p0) l =
+  Emit (fun ~resolve -> Inst.make ~guard (Inst.Call { target = resolve l }))
+
+let ret ?guard () = inst ?guard Inst.Return
+let halt = inst Inst.Halt
+let nop = inst Inst.Nop
+
+(** [assemble items] resolves labels to PCs and builds a validated image. *)
+let assemble items =
+  let table = Hashtbl.create 16 in
+  let pc = ref 0 in
+  List.iter
+    (function
+      | Label name ->
+        if Hashtbl.mem table name then raise (Duplicate_label name);
+        Hashtbl.add table name !pc
+      | Emit _ -> incr pc)
+    items;
+  let resolve name =
+    match Hashtbl.find_opt table name with
+    | Some pc -> pc
+    | None -> raise (Undefined_label name)
+  in
+  let insts =
+    List.filter_map (function Label _ -> None | Emit f -> Some (f ~resolve)) items
+  in
+  Code.create (Array.of_list insts)

@@ -1,0 +1,57 @@
+(** Tiny two-pass assembler: build instruction sequences with symbolic
+    labels, then {!assemble} into a {!Code.t}. Used by tests, examples and
+    the compiler's code emitter. *)
+
+type item
+
+exception Undefined_label of string
+exception Duplicate_label of string
+
+(** [label name] marks the position of [name]; it occupies no PC. *)
+val label : string -> item
+
+(** [inst ?guard ?spec op] emits a raw operation. *)
+val inst : ?guard:Reg.preg -> ?spec:bool -> Inst.op -> item
+
+val alu : ?guard:Reg.preg -> ?spec:bool -> Inst.aluop -> Reg.ireg -> Reg.ireg -> Inst.operand -> item
+val add : ?guard:Reg.preg -> ?spec:bool -> Reg.ireg -> Reg.ireg -> Inst.operand -> item
+val sub : ?guard:Reg.preg -> ?spec:bool -> Reg.ireg -> Reg.ireg -> Inst.operand -> item
+val mul : ?guard:Reg.preg -> ?spec:bool -> Reg.ireg -> Reg.ireg -> Inst.operand -> item
+
+(** [movi dst n] loads an immediate via the zero register. *)
+val movi : ?guard:Reg.preg -> ?spec:bool -> Reg.ireg -> int -> item
+
+(** [mov dst src] copies a register. *)
+val mov : ?guard:Reg.preg -> ?spec:bool -> Reg.ireg -> Reg.ireg -> item
+
+val cmp :
+  ?guard:Reg.preg ->
+  ?spec:bool ->
+  ?unc:bool ->
+  Inst.cmpop ->
+  ?dst_false:Reg.preg ->
+  Reg.preg ->
+  Reg.ireg ->
+  Inst.operand ->
+  item
+
+val pset : ?guard:Reg.preg -> ?spec:bool -> Reg.preg -> bool -> item
+val load : ?guard:Reg.preg -> ?spec:bool -> Reg.ireg -> Reg.ireg -> int -> item
+val store : ?guard:Reg.preg -> Reg.ireg -> Reg.ireg -> int -> item
+
+(** [branch ?guard kind label] — taken iff the guard holds. *)
+val branch : ?guard:Reg.preg -> Inst.branch_kind -> string -> item
+
+val br : ?guard:Reg.preg -> string -> item
+val wish_jump : ?guard:Reg.preg -> string -> item
+val wish_join : ?guard:Reg.preg -> string -> item
+val wish_loop : ?guard:Reg.preg -> string -> item
+val jmp : ?guard:Reg.preg -> string -> item
+val call : ?guard:Reg.preg -> string -> item
+val ret : ?guard:Reg.preg -> unit -> item
+val halt : item
+val nop : item
+
+(** [assemble items] resolves labels to PCs and builds a validated image.
+    Raises {!Undefined_label} / {!Duplicate_label} / {!Code.Invalid}. *)
+val assemble : item list -> Code.t

@@ -1,0 +1,59 @@
+(** An assembled code image: instructions at consecutive PCs.
+
+    PCs are instruction indices. For cache purposes every instruction
+    occupies 4 bytes ([byte_pc]); with 64-byte I-cache lines this packs 16
+    instructions per line. *)
+
+type t = { insts : Inst.t array }
+
+let bytes_per_inst = 4
+
+exception Invalid of string
+
+let invalid fmt = Fmt.kstr (fun s -> raise (Invalid s)) fmt
+
+(** [create insts] validates that all direct targets are in range and that
+    the image cannot run off the end (the last instruction must end control
+    flow unconditionally). *)
+let create insts =
+  let n = Array.length insts in
+  if n = 0 then invalid "empty code image";
+  Array.iteri
+    (fun pc (i : Inst.t) ->
+      (match Inst.direct_target i with
+      | Some t when t < 0 || t >= n -> invalid "pc %d: branch target %d out of range" pc t
+      | Some _ | None -> ());
+      (* Speculated instructions may be skipped by hardware, so they must
+         be free of irreversible effects. *)
+      if i.spec && (Inst.writes_memory i || Inst.is_branch i) then
+        invalid "pc %d: speculative mark on a store or branch" pc)
+    insts;
+  (match insts.(n - 1).op with
+  | Inst.Halt | Inst.Return -> ()
+  | Inst.Jump _ when insts.(n - 1).guard = Reg.p0 -> ()
+  | _ -> invalid "last instruction must be halt, ret, or an unguarded jmp");
+  { insts }
+
+let length t = Array.length t.insts
+
+let get t pc =
+  if pc < 0 || pc >= Array.length t.insts then invalid "fetch from invalid pc %d" pc;
+  t.insts.(pc)
+
+let in_range t pc = pc >= 0 && pc < Array.length t.insts
+
+let byte_pc pc = pc * bytes_per_inst
+
+let iteri t f = Array.iteri f t.insts
+
+(** Static counts used by Table 4-style reports. *)
+let count t p = Array.fold_left (fun acc i -> if p i then acc + 1 else acc) 0 t.insts
+
+let static_conditional_branches t = count t Inst.is_conditional
+let static_wish_branches t = count t Inst.is_wish
+
+let static_wish_loops t =
+  count t (fun i -> Inst.branch_kind i = Some Inst.Wish_loop)
+
+let pp ppf t =
+  Array.iteri (fun pc i -> Fmt.pf ppf "%4d: %a@." pc Inst.pp i) t.insts

@@ -1,0 +1,33 @@
+(** An assembled code image: instructions at consecutive PCs.
+
+    PCs are instruction indices. For cache purposes every instruction
+    occupies {!bytes_per_inst} bytes ([byte_pc]); with 64-byte I-cache
+    lines this packs 16 instructions per line. *)
+
+type t
+
+val bytes_per_inst : int
+
+exception Invalid of string
+
+(** [create insts] validates the image: all direct targets in range, and
+    the last instruction must end control flow unconditionally ([halt],
+    [ret], or an unguarded [jmp]). Raises {!Invalid} otherwise. *)
+val create : Inst.t array -> t
+
+val length : t -> int
+
+(** [get t pc] — raises {!Invalid} out of range. *)
+val get : t -> int -> Inst.t
+
+val in_range : t -> int -> bool
+val byte_pc : int -> int
+val iteri : t -> (int -> Inst.t -> unit) -> unit
+
+(** [count t p] — static instruction census. *)
+val count : t -> (Inst.t -> bool) -> int
+
+val static_conditional_branches : t -> int
+val static_wish_branches : t -> int
+val static_wish_loops : t -> int
+val pp : Format.formatter -> t -> unit

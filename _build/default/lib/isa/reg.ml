@@ -1,0 +1,49 @@
+(** Integer and predicate register files of the WISC ISA.
+
+    - 64 integer registers [r0..r63]; [r0] is hardwired to zero.
+    - 64 predicate registers [p0..p63]; [p0] is hardwired to TRUE, so an
+      unguarded instruction is simply one guarded by [p0].
+
+    Registers are plain integers validated by the smart constructors; the
+    simulator indexes register alias tables with them directly. *)
+
+let int_reg_count = 64
+let pred_reg_count = 64
+
+type ireg = int [@@deriving eq, show]
+type preg = int [@@deriving eq, show]
+
+(** The hardwired zero integer register. *)
+let r0 : ireg = 0
+
+(** The hardwired always-true predicate register. *)
+let p0 : preg = 0
+
+let ireg n : ireg =
+  if n < 0 || n >= int_reg_count then invalid_arg "Reg.ireg";
+  n
+
+let preg n : preg =
+  if n < 0 || n >= pred_reg_count then invalid_arg "Reg.preg";
+  n
+
+let is_valid_ireg n = n >= 0 && n < int_reg_count
+let is_valid_preg n = n >= 0 && n < pred_reg_count
+
+let pp_ireg ppf r = Fmt.pf ppf "r%d" r
+let pp_preg ppf p = Fmt.pf ppf "p%d" p
+
+(* Software conventions used by the Kernel compiler. Hardware attaches no
+   meaning to these beyond r0/p0. *)
+
+(** Stack pointer by convention. *)
+let sp : ireg = 1
+
+(** Scratch register reserved for codegen-internal shuffling. *)
+let scratch : ireg = 2
+
+(** First register available for allocation to program variables. *)
+let first_alloc : ireg = 3
+
+(** First predicate register available to the if-converter ([p1..]). *)
+let first_alloc_pred : preg = 1

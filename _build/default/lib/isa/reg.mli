@@ -1,0 +1,42 @@
+(** Integer and predicate register files of the WISC ISA.
+
+    - 64 integer registers [r0..r63]; [r0] is hardwired to zero.
+    - 64 predicate registers [p0..p63]; [p0] is hardwired to TRUE, so an
+      unguarded instruction is simply one guarded by [p0]. *)
+
+val int_reg_count : int
+val pred_reg_count : int
+
+type ireg = int [@@deriving eq, show]
+type preg = int [@@deriving eq, show]
+
+(** The hardwired zero integer register. *)
+val r0 : ireg
+
+(** The hardwired always-true predicate register. *)
+val p0 : preg
+
+(** Checked constructors; raise [Invalid_argument] out of range. *)
+val ireg : int -> ireg
+
+val preg : int -> preg
+val is_valid_ireg : int -> bool
+val is_valid_preg : int -> bool
+val pp_ireg : Format.formatter -> ireg -> unit
+val pp_preg : Format.formatter -> preg -> unit
+
+(** {2 Software conventions used by the Kernel compiler}
+
+    Hardware attaches no meaning to these beyond [r0]/[p0]. *)
+
+(** Stack pointer by convention (currently unused by generated code). *)
+val sp : ireg
+
+(** Scratch register reserved for codegen-internal shuffling. *)
+val scratch : ireg
+
+(** First register available for allocation to program variables. *)
+val first_alloc : ireg
+
+(** First predicate register available to the if-converter ([p1..]). *)
+val first_alloc_pred : preg

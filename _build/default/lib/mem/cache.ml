@@ -1,0 +1,63 @@
+(** A single set-associative cache level with LRU replacement. Timing-only:
+    no data is stored, just tags and recency. *)
+
+type config = {
+  size_bytes : int;
+  ways : int;
+  line_bytes : int;
+  latency : int; (* cycles on hit *)
+}
+
+type t = {
+  config : config;
+  lines : unit Wish_util.Lru.t;
+  mutable accesses : int;
+  mutable misses : int;
+  line_shift : int;
+  sets : int;
+}
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let create config =
+  let lines_total = config.size_bytes / config.line_bytes in
+  assert (lines_total mod config.ways = 0);
+  let sets = lines_total / config.ways in
+  assert (sets > 0 && config.line_bytes land (config.line_bytes - 1) = 0);
+  {
+    config;
+    lines = Wish_util.Lru.create ~sets ~ways:config.ways ~default:(fun () -> ());
+    accesses = 0;
+    misses = 0;
+    line_shift = log2 config.line_bytes;
+    sets;
+  }
+
+let line_addr t byte_addr = byte_addr lsr t.line_shift
+let set_of t la = la mod t.sets
+let tag_of t la = la / t.sets
+
+(** [access t ~byte_addr] probes the cache, allocating the line on a miss.
+    Returns whether it hit. *)
+let access t ~byte_addr =
+  t.accesses <- t.accesses + 1;
+  let la = line_addr t byte_addr in
+  let set = set_of t la and tag = tag_of t la in
+  match Wish_util.Lru.find t.lines ~set ~tag with
+  | Some () -> true
+  | None ->
+    t.misses <- t.misses + 1;
+    ignore (Wish_util.Lru.insert t.lines ~set ~tag ());
+    false
+
+(** [probe t ~byte_addr] checks residency without side effects. *)
+let probe t ~byte_addr =
+  let la = line_addr t byte_addr in
+  Wish_util.Lru.mem t.lines ~set:(set_of t la) ~tag:(tag_of t la)
+
+let latency t = t.config.latency
+let accesses t = t.accesses
+let misses t = t.misses
+let miss_rate t = if t.accesses = 0 then 0.0 else float_of_int t.misses /. float_of_int t.accesses

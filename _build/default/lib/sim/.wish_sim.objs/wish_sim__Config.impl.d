@@ -1,0 +1,1 @@
+lib/sim/config.ml: Fmt Wish_bpred Wish_mem

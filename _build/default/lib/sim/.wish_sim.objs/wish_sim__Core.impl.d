@@ -1,0 +1,1 @@
+lib/sim/core.ml: Buffer Code Config Fmt Hashtbl Inst List Option Oracle Printf Program Queue Rat Reg Sys Uop Wish_bpred Wish_fsm Wish_isa Wish_mem Wish_util

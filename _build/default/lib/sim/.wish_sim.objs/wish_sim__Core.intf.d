@@ -1,0 +1,1 @@
+lib/sim/core.mli: Config Wish_emu Wish_isa Wish_mem Wish_util

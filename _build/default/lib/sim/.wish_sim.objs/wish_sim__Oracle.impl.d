@@ -1,0 +1,1 @@
+lib/sim/oracle.ml: Trace Wish_emu Wish_isa

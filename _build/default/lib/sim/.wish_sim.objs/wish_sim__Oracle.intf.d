@@ -1,0 +1,1 @@
+lib/sim/oracle.mli: Wish_emu Wish_isa

@@ -1,0 +1,1 @@
+lib/sim/rat.ml: Array Reg Wish_isa

@@ -1,0 +1,1 @@
+lib/sim/rat.mli: Wish_isa

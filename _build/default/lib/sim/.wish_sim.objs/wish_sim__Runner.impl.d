@@ -1,0 +1,1 @@
+lib/sim/runner.ml: Config Core Wish_emu Wish_isa Wish_mem Wish_util

@@ -1,0 +1,1 @@
+lib/sim/uop.ml: Inst Rat Wish_bpred Wish_isa

@@ -1,0 +1,1 @@
+lib/sim/uop.mli: Rat Wish_bpred Wish_isa

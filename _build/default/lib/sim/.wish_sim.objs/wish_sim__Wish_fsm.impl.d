@@ -1,0 +1,1 @@
+lib/sim/wish_fsm.ml: Hashtbl Inst List Reg Uop Wish_isa

@@ -1,0 +1,1 @@
+lib/sim/wish_fsm.mli: Uop Wish_isa

@@ -1,0 +1,39 @@
+(** The cycle-level out-of-order core.
+
+    Oracle-directed execution: the front end fetches real instructions
+    from the static code image along the *predicted* path; a cursor over
+    the emulator trace ({!Oracle}) supplies dynamic facts (guard values,
+    branch directions, memory addresses) for correct-path µops. Wrong-path
+    µops (fetched past a misprediction) and phantom µops (wish-loop extra
+    iterations) are fetched from the same image, so their resource
+    consumption is modelled faithfully.
+
+    Pipeline model per cycle: completion events → retire → rename/dispatch
+    → issue → fetch; a bounded fetch-to-rename delay line realizes the
+    front-end depth, which sets the ~30-cycle minimum misprediction
+    penalty of Table 2.
+
+    Statistics are exposed through {!stats} as named counters; see
+    {!Runner} for the digest most callers want. *)
+
+type t
+
+exception Deadlock of string
+
+val create : Config.t -> Wish_isa.Program.t -> Wish_emu.Trace.t -> t
+
+(** [step t] advances one cycle. Raises {!Deadlock} (with a diagnostic
+    dump) if no µop has retired for a very long time. *)
+val step : t -> unit
+
+(** [run t] executes until the program's halt retires (or the cycle
+    budget is exhausted), then records the cycle count in the stats. *)
+val run : t -> t
+
+val cycles : t -> int
+val rob_occupancy : t -> int
+val stats : t -> Wish_util.Stats.t
+val hier_stats : t -> Wish_mem.Hierarchy.stats
+
+(** [debug_window t n] describes the [n] oldest ROB entries (diagnostics). *)
+val debug_window : t -> int -> string

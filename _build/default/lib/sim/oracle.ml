@@ -1,0 +1,61 @@
+(** The oracle: a cursor over the emulator's predicate-through trace that
+    directs correct-path fetch.
+
+    Matching rule: the fetched PC must equal the trace entry at the cursor,
+    possibly after skipping entries whose guard is FALSE (architectural
+    NOPs — exactly the instructions a predicted-taken wish jump/join legally
+    jumps over). A failure to match means the front end has left the
+    correct path. *)
+
+open Wish_emu
+
+type t = {
+  code : Wish_isa.Code.t;
+  trace : Trace.t;
+  mutable cursor : int;
+  skip_limit : int; (* longest skippable run a single skip may cross *)
+}
+
+let create code trace = { code; trace; cursor = 0; skip_limit = 4096 }
+
+let cursor t = t.cursor
+let restore t c = t.cursor <- c
+let length t = Trace.length t.trace
+let exhausted t = t.cursor >= Trace.length t.trace
+
+type entry = { index : int; guard_true : bool; taken : bool; next_pc : int; addr : int }
+
+let entry_at t i =
+  {
+    index = i;
+    guard_true = Trace.guard_true t.trace i;
+    taken = Trace.taken t.trace i;
+    next_pc = Trace.next_pc t.trace i;
+    addr = Trace.addr t.trace i;
+  }
+
+(* Skippable entries: architectural NOPs (guard false) and compiler-marked
+   speculated computations whose destinations are dead outside the
+   predicated region being jumped over. *)
+let skippable t i =
+  (not (Trace.guard_true t.trace i))
+  || (Wish_isa.Code.get t.code (Trace.pc t.trace i)).Wish_isa.Inst.spec
+
+(** [consume t ~pc] tries to match [pc] against the trace, advancing the
+    cursor past the matched entry on success. *)
+let consume t ~pc =
+  let n = Trace.length t.trace in
+  let stop = min n (t.cursor + t.skip_limit) in
+  let rec scan i =
+    if i >= stop then None
+    else if Trace.pc t.trace i = pc then begin
+      t.cursor <- i + 1;
+      Some (entry_at t i)
+    end
+    else if skippable t i then scan (i + 1)
+    else None
+  in
+  scan t.cursor
+
+(** [peek_pc t] is the next correct-path PC, if any (diagnostics only). *)
+let peek_pc t = if exhausted t then None else Some (Trace.pc t.trace t.cursor)

@@ -1,0 +1,29 @@
+(** The oracle: a cursor over the emulator's predicate-through trace that
+    directs correct-path fetch.
+
+    Matching rule: the fetched PC must equal the trace entry at the
+    cursor, possibly after skipping entries a predicted-taken wish branch
+    legally jumps over — architectural NOPs (guard false) and
+    compiler-marked speculated instructions. A failure to match means the
+    front end has left the correct path. *)
+
+type t
+
+val create : Wish_isa.Code.t -> Wish_emu.Trace.t -> t
+val cursor : t -> int
+
+(** [restore t c] rewinds the cursor at misprediction recovery. *)
+val restore : t -> int -> unit
+
+val length : t -> int
+val exhausted : t -> bool
+
+type entry = { index : int; guard_true : bool; taken : bool; next_pc : int; addr : int }
+
+(** [consume t ~pc] tries to match [pc] against the trace, advancing the
+    cursor past the matched entry on success; [None] (no state change)
+    means divergence. *)
+val consume : t -> pc:int -> entry option
+
+(** [peek_pc t] is the next correct-path PC, if any (diagnostics only). *)
+val peek_pc : t -> int option

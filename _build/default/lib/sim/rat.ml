@@ -1,0 +1,28 @@
+(** Register alias table mapping architectural registers to their youngest
+    in-flight producer µop id ([-1] = architecturally ready). Checkpointed
+    in full at every branch; a flush restores the checkpoint. *)
+
+open Wish_isa
+
+type t = { int_map : int array; pred_map : int array }
+
+type snapshot = { s_int : int array; s_pred : int array }
+
+let create () =
+  { int_map = Array.make Reg.int_reg_count (-1); pred_map = Array.make Reg.pred_reg_count (-1) }
+
+let int_producer t r = t.int_map.(r)
+let pred_producer t p = t.pred_map.(p)
+
+let set_int t r id = if r <> Reg.r0 then t.int_map.(r) <- id
+let set_pred t p id = if p <> Reg.p0 then t.pred_map.(p) <- id
+
+let snapshot t = { s_int = Array.copy t.int_map; s_pred = Array.copy t.pred_map }
+
+let restore t s =
+  Array.blit s.s_int 0 t.int_map 0 (Array.length t.int_map);
+  Array.blit s.s_pred 0 t.pred_map 0 (Array.length t.pred_map)
+
+(* Retirement needs no RAT update: producer ids are never reused, and a
+   stale mapping to a retired µop reads as "ready" because the µop is no
+   longer in the in-flight table. *)

@@ -1,0 +1,21 @@
+(** Register alias table mapping architectural registers to their youngest
+    in-flight producer µop id ([-1] = architecturally ready). Checkpointed
+    in full at every branch; a flush restores the checkpoint.
+
+    Retirement needs no RAT update: producer ids are never reused, and a
+    stale mapping to a retired µop reads as ready because the µop is no
+    longer in the in-flight table. *)
+
+type t
+type snapshot
+
+val create : unit -> t
+val int_producer : t -> Wish_isa.Reg.ireg -> int
+val pred_producer : t -> Wish_isa.Reg.preg -> int
+
+(** [set_int]/[set_pred] discard r0/p0 mappings. *)
+val set_int : t -> Wish_isa.Reg.ireg -> int -> unit
+
+val set_pred : t -> Wish_isa.Reg.preg -> int -> unit
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit

@@ -1,0 +1,50 @@
+(** Convenience driver: trace a program with the emulator, simulate it, and
+    summarize the interesting numbers. *)
+
+type summary = {
+  cycles : int;
+  dynamic_insts : int; (* ISA instructions retired (trace entries) *)
+  retired_uops : int; (* correct-path µops retired *)
+  retired_phantom : int;
+  fetched_uops : int;
+  flushes : int;
+  mispredicts : int; (* retired mispredicted conditional branches *)
+  cond_branches : int;
+  upc : float; (* retired µops per cycle *)
+  stats : Wish_util.Stats.t;
+  mem : Wish_mem.Hierarchy.stats;
+}
+
+let summarize core =
+  let stats = Core.stats core in
+  let g = Wish_util.Stats.get stats in
+  let cycles = Core.cycles core in
+  {
+    cycles;
+    dynamic_insts = 0;
+    retired_uops = g "retired_correct";
+    retired_phantom = g "retired_phantom";
+    fetched_uops = g "fetched_uops";
+    flushes = g "flushes";
+    mispredicts = g "mispredicts_retired";
+    cond_branches = g "cond_branches_retired";
+    upc =
+      (if cycles = 0 then 0.0 else float_of_int (g "retired_correct") /. float_of_int cycles);
+    stats;
+    mem = Core.hier_stats core;
+  }
+
+(** [simulate ?config ?trace program] — [trace] may be supplied to reuse a
+    previously generated trace for the same program. *)
+let simulate ?(config = Config.default) ?trace (program : Wish_isa.Program.t) =
+  let trace =
+    match trace with
+    | Some t -> t
+    | None ->
+      let t, _final = Wish_emu.Trace.generate program in
+      t
+  in
+  let core = Core.create config program trace in
+  ignore (Core.run core);
+  let s = summarize core in
+  { s with dynamic_insts = Wish_emu.Trace.length trace }

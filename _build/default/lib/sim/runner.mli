@@ -1,0 +1,21 @@
+(** Convenience driver: trace a program with the emulator, simulate it,
+    and summarize the interesting numbers. *)
+
+type summary = {
+  cycles : int;
+  dynamic_insts : int;  (** ISA instructions retired (trace entries) *)
+  retired_uops : int;  (** correct-path µops retired *)
+  retired_phantom : int;
+  fetched_uops : int;
+  flushes : int;
+  mispredicts : int;  (** retired mispredicted conditional branches *)
+  cond_branches : int;
+  upc : float;  (** retired µops per cycle *)
+  stats : Wish_util.Stats.t;  (** every raw counter of the run *)
+  mem : Wish_mem.Hierarchy.stats;
+}
+
+(** [simulate ?config ?trace program] — pass [trace] to reuse a previously
+    generated trace for the same program. *)
+val simulate :
+  ?config:Config.t -> ?trace:Wish_emu.Trace.t -> Wish_isa.Program.t -> summary

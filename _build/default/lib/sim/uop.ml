@@ -1,0 +1,75 @@
+(** µops in flight, and the per-branch recovery record.
+
+    Renaming uses producer identifiers: a register alias table maps each
+    architectural register to the sequence number of its youngest in-flight
+    producer; a µop's sources are the producer ids it must wait for. This
+    avoids an explicit physical register file while modelling exactly the
+    same dependence timing. *)
+
+open Wish_isa
+
+type path =
+  | Correct (* matches the oracle trace *)
+  | Wrong (* fetched past a misprediction; will be squashed *)
+  | Phantom (* wish-loop extra iterations: architectural NOPs that retire *)
+
+(** Front-end mode of Figure 8. *)
+type mode = Normal | High_conf | Low_conf
+
+type exec_class = Ec_nop | Ec_alu | Ec_mul | Ec_load | Ec_store | Ec_ctrl
+
+type state = Waiting | In_ready_queue | Issued | Done
+
+(** Wish-loop low-confidence misprediction classes (paper Section 3.2). *)
+type loop_class = Lc_none | Lc_early | Lc_late | Lc_no_exit
+
+type branch_rec = {
+  predicted_taken : bool;
+  predicted_target : int;
+  actual_taken : bool; (* oracle direction; = predicted for wrong-path *)
+  actual_next : int; (* architectural successor pc *)
+  lookup : Wish_bpred.Hybrid.lookup option; (* present iff predictor consulted *)
+  snapshot : Wish_bpred.Hybrid.snapshot option; (* history undo record *)
+  ras_top : int;
+  cursor_next : int; (* oracle cursor right after this branch *)
+  fetch_mode : mode;
+  conf_high : bool option; (* Some for wish branches under wish hardware *)
+  conf_history : int; (* global history at fetch, for JRS training *)
+  wish_kind : Inst.branch_kind option; (* None for jump/call/return *)
+  is_return : bool;
+  loop_gen : int; (* wish-loop visit generation at fetch *)
+  mutable rat_ckpt : Rat.snapshot option; (* filled at rename *)
+  mutable resolved : bool;
+  mutable loop_class : loop_class;
+}
+
+type t = {
+  id : int;
+  pc : int;
+  inst : Inst.t;
+  path : path;
+  exec_class : exec_class;
+  byte_addr : int; (* memory byte address, or -1 *)
+  guard_false : bool; (* oracle: this µop is an architectural NOP *)
+  guard_forwarded : bool; (* predicate-dependency elimination applied *)
+  is_select : bool; (* the select µop of the select-µop mechanism *)
+  is_pair_compute : bool; (* the computation half of a select-µop pair *)
+  consumes_trace : bool; (* retiring advances the completion count *)
+  mode_at_fetch : mode;
+  br : branch_rec option;
+  fetch_cycle : int;
+  (* Scheduling state. *)
+  mutable pending : int; (* producers not yet complete *)
+  mutable waiters : int list; (* µop ids to wake on completion *)
+  mutable state : state;
+  mutable flushed : bool;
+  mutable complete_cycle : int;
+}
+
+let is_branch_uop u = u.br <> None
+
+let is_wish u = match u.br with Some b -> b.wish_kind <> None | None -> false
+
+let mispredicted (b : branch_rec) =
+  b.predicted_taken <> b.actual_taken
+  || (b.is_return && b.predicted_target <> b.actual_next)

@@ -1,0 +1,130 @@
+(** Front-end wish-branch hardware (paper Section 3.5):
+
+    - the three-mode state machine of Figure 8 (normal / high-confidence /
+      low-confidence);
+    - the predicate-dependency-elimination buffer of Section 3.5.3 — in
+      high-confidence mode the wish branch's predicate (and its complement,
+      tracked from the producing compare at decode) is forwarded as a
+      predicted value so guarded instructions need not wait;
+    - the per-static-wish-loop last-prediction buffer of Section 3.5.4 used
+      to distinguish early-exit / late-exit / no-exit. *)
+
+open Wish_isa
+
+type t = {
+  mutable mode : Uop.mode;
+  mutable low_exit_pc : int; (* fetching this pc leaves low-confidence mode *)
+  mutable low_loop_pc : int; (* wish loop holding us in low-confidence mode *)
+  forward : (Reg.preg, bool) Hashtbl.t;
+  complement : (Reg.preg, Reg.preg) Hashtbl.t;
+  loop_last_pred : (int, int * bool) Hashtbl.t; (* pc -> (visit generation, last prediction) *)
+}
+
+let create () =
+  {
+    mode = Uop.Normal;
+    low_exit_pc = -1;
+    low_loop_pc = -1;
+    forward = Hashtbl.create 8;
+    complement = Hashtbl.create 8;
+    loop_last_pred = Hashtbl.create 8;
+  }
+
+let mode t = t.mode
+
+(** Full reset on a branch-misprediction signal (pipeline flush). *)
+let reset t =
+  t.mode <- Uop.Normal;
+  t.low_exit_pc <- -1;
+  t.low_loop_pc <- -1;
+  Hashtbl.reset t.forward;
+  Hashtbl.reset t.loop_last_pred
+
+(** [on_decode_writes t pregs ~complement_pair] — decoding an instruction
+    that writes a predicate register invalidates its forwarded value; a
+    two-destination compare also refreshes the complement map. *)
+let on_decode_writes t pregs ~complement_pair =
+  List.iter
+    (fun p ->
+      Hashtbl.remove t.forward p;
+      Hashtbl.remove t.complement p)
+    pregs;
+  match complement_pair with
+  | Some (pt, pf) ->
+    Hashtbl.replace t.complement pt pf;
+    Hashtbl.replace t.complement pf pt
+  | None -> ()
+
+(** [forwarded_value t p] — [Some v] if the buffer predicts predicate [p]. *)
+let forwarded_value t p = Hashtbl.find_opt t.forward p
+
+(** [on_fetch_pc t ~pc] — "target fetched" exit from low-confidence mode. *)
+let on_fetch_pc t ~pc =
+  if t.mode = Uop.Low_conf && pc = t.low_exit_pc then begin
+    t.mode <- Uop.Normal;
+    t.low_exit_pc <- -1;
+    t.low_loop_pc <- -1
+  end
+
+(** [on_wish_branch t ~kind ~pc ~target ~conf_high ~predictor_dir] applies
+    the mode transition for a fetched wish branch and returns the direction
+    the front end follows. Must be called with wish hardware enabled. *)
+let on_wish_branch t ~kind ~pc ~target ~conf_high ~predictor_dir ~guard =
+  match t.mode with
+  | Uop.Low_conf when kind = Inst.Wish_jump || kind = Inst.Wish_join ->
+    (* Any wish jump/join while in low-confidence mode is forced not-taken
+       (Table 1); the region exit point is unchanged. *)
+    false
+  | Uop.Normal | Uop.High_conf | Uop.Low_conf ->
+    if conf_high then begin
+      t.mode <- Uop.High_conf;
+      t.low_exit_pc <- -1;
+      t.low_loop_pc <- -1;
+      (* Predicate-dependency elimination: predict the branch predicate
+         from the predicted direction, and its complement oppositely. *)
+      Hashtbl.replace t.forward guard predictor_dir;
+      (match Hashtbl.find_opt t.complement guard with
+      | Some c -> Hashtbl.replace t.forward c (not predictor_dir)
+      | None -> ());
+      predictor_dir
+    end
+    else begin
+      t.mode <- Uop.Low_conf;
+      match kind with
+      | Inst.Wish_jump | Inst.Wish_join ->
+        t.low_exit_pc <- target;
+        t.low_loop_pc <- -1;
+        false (* forced not-taken: execute the predicated code *)
+      | Inst.Wish_loop ->
+        (* Stay in low-confidence mode until the loop is exited; direction
+           still comes from the loop/branch predictor, but predicates are
+           not forwarded, so iterations execute predicated. *)
+        t.low_loop_pc <- pc;
+        t.low_exit_pc <- -1;
+        if not predictor_dir then begin
+          (* Predicted exit: leave low-confidence mode immediately. *)
+          t.mode <- Uop.Normal;
+          t.low_loop_pc <- -1
+        end;
+        predictor_dir
+      | Inst.Cond -> predictor_dir
+    end
+
+(** [loop_generation t ~pc] — the front end's current visit generation for
+    a static wish loop; a predicted exit starts a new visit. *)
+let loop_generation t ~pc =
+  match Hashtbl.find_opt t.loop_last_pred pc with Some (g, _) -> g | None -> 0
+
+(** [record_loop_prediction t ~pc ~dir] updates the last front-end
+    prediction for a static wish loop, and handles the low-mode exit when
+    the loop is predicted exited. *)
+let record_loop_prediction t ~pc ~dir =
+  let gen = loop_generation t ~pc in
+  Hashtbl.replace t.loop_last_pred pc ((if dir then gen else gen + 1), dir);
+  if t.mode = Uop.Low_conf && t.low_loop_pc = pc && not dir then begin
+    t.mode <- Uop.Normal;
+    t.low_loop_pc <- -1
+  end
+
+(** [last_loop_prediction t ~pc] — [(generation, last predicted dir)]. *)
+let last_loop_prediction t ~pc = Hashtbl.find_opt t.loop_last_pred pc

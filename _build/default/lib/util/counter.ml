@@ -1,0 +1,33 @@
+(** Saturating counters, the basic building block of branch predictors and
+    confidence estimators. *)
+
+type t = { mutable value : int; max : int }
+
+(** [create ~bits ?init ()] makes a counter saturating at [2^bits - 1].
+    [init] defaults to the weakly-taken midpoint. *)
+let create ~bits ?init () =
+  assert (bits > 0 && bits <= 16);
+  let max = (1 lsl bits) - 1 in
+  let init = match init with Some v -> v | None -> (max + 1) / 2 in
+  assert (init >= 0 && init <= max);
+  { value = init; max }
+
+let value t = t.value
+let max_value t = t.max
+
+let increment t = if t.value < t.max then t.value <- t.value + 1
+let decrement t = if t.value > 0 then t.value <- t.value - 1
+let reset t v =
+  assert (v >= 0 && v <= t.max);
+  t.value <- v
+
+(** [is_taken t] interprets the counter as a direction prediction: the upper
+    half of the range predicts taken. *)
+let is_taken t = 2 * t.value > t.max
+
+(** [update t ~taken] trains toward the observed direction. *)
+let update t ~taken = if taken then increment t else decrement t
+
+(** [is_saturated_high t] is true at the maximum value — used by the JRS
+    estimator where only a full miss-distance counter means confident. *)
+let is_saturated_high t = t.value = t.max

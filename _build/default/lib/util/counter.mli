@@ -1,0 +1,26 @@
+(** Saturating counters, the basic building block of branch predictors and
+    confidence estimators. *)
+
+type t
+
+(** [create ~bits ?init ()] makes a counter saturating at [2^bits - 1];
+    [init] defaults to the weakly-taken midpoint. [bits] must be in 1..16. *)
+val create : bits:int -> ?init:int -> unit -> t
+
+val value : t -> int
+val max_value : t -> int
+val increment : t -> unit
+val decrement : t -> unit
+
+(** [reset t v] sets the value; [v] must be within range. *)
+val reset : t -> int -> unit
+
+(** [is_taken t] interprets the counter as a direction prediction: the
+    upper half of the range predicts taken. *)
+val is_taken : t -> bool
+
+(** [update t ~taken] trains toward the observed direction. *)
+val update : t -> taken:bool -> unit
+
+(** [is_saturated_high t] is true only at the maximum value. *)
+val is_saturated_high : t -> bool

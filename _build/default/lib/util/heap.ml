@@ -1,0 +1,53 @@
+(** Minimal binary min-heap over integers, used as the scheduler's
+    oldest-first ready queue (keys are µop sequence numbers). *)
+
+type t = { mutable data : int array; mutable len : int }
+
+let create () = { data = Array.make 64 0; len = 0 }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let grow t =
+  let d = Array.make (2 * Array.length t.data) 0 in
+  Array.blit t.data 0 d 0 t.len;
+  t.data <- d
+
+let swap t i j =
+  let x = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- x
+
+let push t x =
+  if t.len = Array.length t.data then grow t;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1;
+  let i = ref (t.len - 1) in
+  while !i > 0 && t.data.((!i - 1) / 2) > t.data.(!i) do
+    swap t !i ((!i - 1) / 2);
+    i := (!i - 1) / 2
+  done
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let root = t.data.(0) in
+    t.len <- t.len - 1;
+    t.data.(0) <- t.data.(t.len);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < t.len && t.data.(l) < t.data.(!smallest) then smallest := l;
+      if r < t.len && t.data.(r) < t.data.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        swap t !i !smallest;
+        i := !smallest
+      end
+      else continue := false
+    done;
+    Some root
+  end
+
+let clear t = t.len <- 0

@@ -1,0 +1,14 @@
+(** Minimal binary min-heap over integers, used as the scheduler's
+    oldest-first ready queue (keys are µop sequence numbers). *)
+
+type t
+
+val create : unit -> t
+val length : t -> int
+val is_empty : t -> bool
+val push : t -> int -> unit
+
+(** [pop t] removes and returns the smallest element. *)
+val pop : t -> int option
+
+val clear : t -> unit

@@ -1,0 +1,132 @@
+(** Set-associative LRU arrays, shared by caches, the BTB and the tagged
+    JRS confidence estimator.
+
+    A structure holds [sets] sets of [ways] entries. Each entry stores a tag
+    and a user payload; recency is tracked with a per-entry stamp. *)
+
+type 'a entry = {
+  mutable tag : int;
+  mutable valid : bool;
+  mutable stamp : int;
+  mutable payload : 'a;
+}
+
+type 'a t = {
+  sets : int;
+  ways : int;
+  entries : 'a entry array array; (* [set].(way) *)
+  mutable clock : int;
+  default : unit -> 'a;
+}
+
+let create ~sets ~ways ~default =
+  assert (sets > 0 && ways > 0);
+  let make_entry _ = { tag = 0; valid = false; stamp = 0; payload = default () } in
+  {
+    sets;
+    ways;
+    entries = Array.init sets (fun _ -> Array.init ways make_entry);
+    clock = 0;
+    default;
+  }
+
+let sets t = t.sets
+let ways t = t.ways
+
+let touch t e =
+  t.clock <- t.clock + 1;
+  e.stamp <- t.clock
+
+(** [find t ~set ~tag] looks up an entry and updates its recency on hit. *)
+let find t ~set ~tag =
+  let row = t.entries.(set mod t.sets) in
+  let rec loop i =
+    if i >= t.ways then None
+    else
+      let e = row.(i) in
+      if e.valid && e.tag = tag then begin
+        touch t e;
+        Some e.payload
+      end
+      else loop (i + 1)
+  in
+  loop 0
+
+(** [mem t ~set ~tag] checks presence without updating recency. *)
+let mem t ~set ~tag =
+  let row = t.entries.(set mod t.sets) in
+  Array.exists (fun e -> e.valid && e.tag = tag) row
+
+(** [update t ~set ~tag ~f] applies [f] to the payload on hit (refreshing
+    recency); returns whether the entry was present. *)
+let update t ~set ~tag ~f =
+  let row = t.entries.(set mod t.sets) in
+  let rec loop i =
+    if i >= t.ways then false
+    else
+      let e = row.(i) in
+      if e.valid && e.tag = tag then begin
+        touch t e;
+        e.payload <- f e.payload;
+        true
+      end
+      else loop (i + 1)
+  in
+  loop 0
+
+(** [insert t ~set ~tag payload] inserts, evicting the LRU way if needed.
+    Returns the evicted [(tag, payload)] if a valid entry was displaced. *)
+let insert t ~set ~tag payload =
+  let row = t.entries.(set mod t.sets) in
+  (* Prefer refreshing an existing entry with the same tag. *)
+  let existing = ref None in
+  Array.iter (fun e -> if e.valid && e.tag = tag then existing := Some e) row;
+  match !existing with
+  | Some e ->
+    touch t e;
+    e.payload <- payload;
+    None
+  | None ->
+    let victim = ref row.(0) in
+    Array.iter
+      (fun e ->
+        let v = !victim in
+        if (not e.valid) && v.valid then victim := e
+        else if e.valid = v.valid && e.stamp < v.stamp then victim := e)
+      row;
+    let v = !victim in
+    let evicted = if v.valid then Some (v.tag, v.payload) else None in
+    v.tag <- tag;
+    v.valid <- true;
+    v.payload <- payload;
+    touch t v;
+    evicted
+
+(** [invalidate t ~set ~tag] removes an entry if present. *)
+let invalidate t ~set ~tag =
+  let row = t.entries.(set mod t.sets) in
+  Array.iter
+    (fun e ->
+      if e.valid && e.tag = tag then begin
+        e.valid <- false;
+        e.payload <- t.default ()
+      end)
+    row
+
+let clear t =
+  Array.iter
+    (fun row ->
+      Array.iter
+        (fun e ->
+          e.valid <- false;
+          e.stamp <- 0;
+          e.payload <- t.default ())
+        row)
+    t.entries;
+  t.clock <- 0
+
+(** [count_valid t] returns the number of valid entries (for tests/stats). *)
+let count_valid t =
+  Array.fold_left
+    (fun acc row -> Array.fold_left (fun a e -> if e.valid then a + 1 else a) acc row)
+    0 t.entries

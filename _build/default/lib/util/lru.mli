@@ -1,0 +1,38 @@
+(** Set-associative LRU arrays, shared by caches, the BTB and the tagged
+    JRS confidence estimator.
+
+    A structure holds [sets] sets of [ways] entries; each entry stores a
+    tag and a user payload, with recency tracked per entry. *)
+
+type 'a t
+
+(** [create ~sets ~ways ~default] — [default] produces the payload for
+    invalid entries. *)
+val create : sets:int -> ways:int -> default:(unit -> 'a) -> 'a t
+
+val sets : 'a t -> int
+val ways : 'a t -> int
+
+(** [find t ~set ~tag] looks up an entry and refreshes its recency on hit.
+    [set] is reduced modulo the set count. *)
+val find : 'a t -> set:int -> tag:int -> 'a option
+
+(** [mem t ~set ~tag] checks presence without touching recency. *)
+val mem : 'a t -> set:int -> tag:int -> bool
+
+(** [update t ~set ~tag ~f] applies [f] to the payload on hit (refreshing
+    recency); returns whether the entry was present. *)
+val update : 'a t -> set:int -> tag:int -> f:('a -> 'a) -> bool
+
+(** [insert t ~set ~tag payload] inserts, evicting the LRU way if needed;
+    returns the evicted [(tag, payload)] if a valid entry was displaced.
+    Inserting an existing tag replaces its payload without eviction. *)
+val insert : 'a t -> set:int -> tag:int -> 'a -> (int * 'a) option
+
+(** [invalidate t ~set ~tag] removes an entry if present. *)
+val invalidate : 'a t -> set:int -> tag:int -> unit
+
+val clear : 'a t -> unit
+
+(** [count_valid t] returns the number of valid entries (tests/stats). *)
+val count_valid : 'a t -> int

@@ -1,0 +1,91 @@
+(** Fixed-capacity circular FIFO used for the ROB, fetch queue and other
+    in-order pipeline structures. Elements are indexed oldest-first. *)
+
+type 'a t = {
+  data : 'a option array;
+  mutable head : int; (* index of oldest element *)
+  mutable count : int;
+}
+
+let create capacity =
+  assert (capacity > 0);
+  { data = Array.make capacity None; head = 0; count = 0 }
+
+let capacity t = Array.length t.data
+let length t = t.count
+let is_empty t = t.count = 0
+let is_full t = t.count = Array.length t.data
+let space t = Array.length t.data - t.count
+
+let clear t =
+  Array.fill t.data 0 (Array.length t.data) None;
+  t.head <- 0;
+  t.count <- 0
+
+(** [push t x] appends at the tail. Raises [Failure] when full. *)
+let push t x =
+  if is_full t then failwith "Ring.push: full";
+  let tail = (t.head + t.count) mod Array.length t.data in
+  t.data.(tail) <- Some x;
+  t.count <- t.count + 1
+
+(** [peek t] returns the oldest element without removing it. *)
+let peek t =
+  if is_empty t then None
+  else t.data.(t.head)
+
+(** [pop t] removes and returns the oldest element. *)
+let pop t =
+  match peek t with
+  | None -> None
+  | Some _ as x ->
+    t.data.(t.head) <- None;
+    t.head <- (t.head + 1) mod Array.length t.data;
+    t.count <- t.count - 1;
+    x
+
+(** [get t i] returns the [i]-th element counting from the oldest. *)
+let get t i =
+  if i < 0 || i >= t.count then invalid_arg "Ring.get";
+  match t.data.((t.head + i) mod Array.length t.data) with
+  | Some x -> x
+  | None -> assert false
+
+(** [drop_from t i] removes elements [i .. length-1] (youngest side),
+    returning them oldest-first; used for pipeline flushes. *)
+let drop_from t i =
+  if i < 0 || i > t.count then invalid_arg "Ring.drop_from";
+  let dropped = ref [] in
+  for k = t.count - 1 downto i do
+    let idx = (t.head + k) mod Array.length t.data in
+    (match t.data.(idx) with
+     | Some x -> dropped := x :: !dropped
+     | None -> assert false);
+    t.data.(idx) <- None
+  done;
+  t.count <- i;
+  !dropped
+
+(** [iter t f] applies [f] oldest-first. *)
+let iter t f =
+  for i = 0 to t.count - 1 do
+    f (get t i)
+  done
+
+(** [iteri t f] applies [f i x] oldest-first. *)
+let iteri t f =
+  for i = 0 to t.count - 1 do
+    f i (get t i)
+  done
+
+let fold t ~init ~f =
+  let acc = ref init in
+  iter t (fun x -> acc := f !acc x);
+  !acc
+
+let to_list t = List.rev (fold t ~init:[] ~f:(fun acc x -> x :: acc))
+
+(** [find_index t p] returns the oldest index satisfying [p]. *)
+let find_index t p =
+  let rec loop i = if i >= t.count then None else if p (get t i) then Some i else loop (i + 1) in
+  loop 0

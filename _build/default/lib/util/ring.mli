@@ -1,0 +1,41 @@
+(** Fixed-capacity circular FIFO used for the ROB, fetch queue and other
+    in-order pipeline structures. Elements are indexed oldest-first. *)
+
+type 'a t
+
+val create : int -> 'a t
+val capacity : 'a t -> int
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val is_full : 'a t -> bool
+val space : 'a t -> int
+val clear : 'a t -> unit
+
+(** [push t x] appends at the tail. Raises [Failure] when full. *)
+val push : 'a t -> 'a -> unit
+
+(** [peek t] returns the oldest element without removing it. *)
+val peek : 'a t -> 'a option
+
+(** [pop t] removes and returns the oldest element. *)
+val pop : 'a t -> 'a option
+
+(** [get t i] returns the [i]-th element counting from the oldest.
+    Raises [Invalid_argument] when out of range. *)
+val get : 'a t -> int -> 'a
+
+(** [drop_from t i] removes elements [i .. length-1] (the youngest side),
+    returning them oldest-first; used for pipeline flushes. *)
+val drop_from : 'a t -> int -> 'a list
+
+(** [iter t f] applies [f] oldest-first. *)
+val iter : 'a t -> ('a -> unit) -> unit
+
+(** [iteri t f] applies [f i x] oldest-first. *)
+val iteri : 'a t -> (int -> 'a -> unit) -> unit
+
+val fold : 'a t -> init:'b -> f:('b -> 'a -> 'b) -> 'b
+val to_list : 'a t -> 'a list
+
+(** [find_index t p] returns the oldest index satisfying [p]. *)
+val find_index : 'a t -> ('a -> bool) -> int option

@@ -1,0 +1,39 @@
+(** Named counter bags for simulation statistics. *)
+
+type t = { table : (string, int ref) Hashtbl.t; mutable order : string list }
+
+let create () = { table = Hashtbl.create 64; order = [] }
+
+let cell t name =
+  match Hashtbl.find_opt t.table name with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.add t.table name r;
+    t.order <- name :: t.order;
+    r
+
+let incr ?(by = 1) t name =
+  let r = cell t name in
+  r := !r + by
+
+let set t name v =
+  let r = cell t name in
+  r := v
+
+let get t name = match Hashtbl.find_opt t.table name with Some r -> !r | None -> 0
+
+(** [ratio t num den] is [num/den] as a float, 0 when the denominator is 0. *)
+let ratio t num den =
+  let d = get t den in
+  if d = 0 then 0.0 else float_of_int (get t num) /. float_of_int d
+
+(** [per_million t num den] is occurrences of [num] per million [den]. *)
+let per_million t num den = 1_000_000.0 *. ratio t num den
+
+let names t = List.rev t.order
+
+let to_assoc t = List.map (fun n -> (n, get t n)) (names t)
+
+let pp ppf t =
+  List.iter (fun (n, v) -> Fmt.pf ppf "%-40s %d@." n v) (to_assoc t)

@@ -1,0 +1,23 @@
+(** Named counter bags for simulation statistics. Counters spring into
+    existence at zero on first touch and remember insertion order. *)
+
+type t
+
+val create : unit -> t
+val incr : ?by:int -> t -> string -> unit
+val set : t -> string -> int -> unit
+
+(** [get t name] — 0 for counters never touched. *)
+val get : t -> string -> int
+
+(** [ratio t num den] is [num/den] as a float, 0 when the denominator is 0. *)
+val ratio : t -> string -> string -> float
+
+(** [per_million t num den] is occurrences of [num] per million [den]. *)
+val per_million : t -> string -> string -> float
+
+(** [names t] in insertion order. *)
+val names : t -> string list
+
+val to_assoc : t -> (string * int) list
+val pp : Format.formatter -> t -> unit

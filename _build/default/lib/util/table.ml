@@ -1,0 +1,70 @@
+(** Plain-text table rendering for the experiment reports. *)
+
+type align = Left | Right
+
+type t = {
+  title : string;
+  header : string list;
+  aligns : align list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create ~title ~header ~aligns =
+  assert (List.length header = List.length aligns);
+  { title; header; aligns; rows = [] }
+
+let add_row t row =
+  assert (List.length row = List.length t.header);
+  t.rows <- row :: t.rows
+
+let add_separator t = t.rows <- [] :: t.rows
+
+let fmt_float ?(decimals = 3) v = Printf.sprintf "%.*f" decimals v
+
+let fmt_percent ?(decimals = 1) v = Printf.sprintf "%.*f%%" decimals v
+
+let render t =
+  let rows = List.rev t.rows in
+  let cols = List.length t.header in
+  let widths = Array.make cols 0 in
+  let measure row =
+    List.iteri (fun i cell -> if String.length cell > widths.(i) then widths.(i) <- String.length cell) row
+  in
+  measure t.header;
+  List.iter (fun r -> if r <> [] then measure r) rows;
+  let buf = Buffer.create 1024 in
+  let pad align width s =
+    let n = width - String.length s in
+    if n <= 0 then s
+    else match align with Left -> s ^ String.make n ' ' | Right -> String.make n ' ' ^ s
+  in
+  let emit_row aligns row =
+    let cells = List.mapi (fun i cell -> pad (List.nth aligns i) widths.(i) cell) row in
+    Buffer.add_string buf ("| " ^ String.concat " | " cells ^ " |\n")
+  in
+  let rule () =
+    let dashes = Array.to_list (Array.map (fun w -> String.make w '-') widths) in
+    Buffer.add_string buf ("+-" ^ String.concat "-+-" dashes ^ "-+\n")
+  in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  rule ();
+  emit_row (List.map (fun _ -> Left) t.header) t.header;
+  rule ();
+  List.iter (fun r -> if r = [] then rule () else emit_row t.aligns r) rows;
+  rule ();
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+(* Minimal CSV quoting: wrap fields containing commas or quotes. *)
+let csv_field s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let buf = Buffer.create 512 in
+  let emit row = Buffer.add_string buf (String.concat "," (List.map csv_field row) ^ "\n") in
+  emit t.header;
+  List.iter (fun r -> if r <> [] then emit r) (List.rev t.rows);
+  Buffer.contents buf

@@ -1,0 +1,25 @@
+(** Plain-text table rendering for the experiment reports. *)
+
+type align = Left | Right
+
+type t
+
+(** [create ~title ~header ~aligns] — [header] and [aligns] must have equal
+    lengths; every row added later must match. *)
+val create : title:string -> header:string list -> aligns:align list -> t
+
+val add_row : t -> string list -> unit
+
+(** [add_separator t] inserts a horizontal rule between rows. *)
+val add_separator : t -> unit
+
+val fmt_float : ?decimals:int -> float -> string
+val fmt_percent : ?decimals:int -> float -> string
+
+(** [render t] produces the boxed ASCII table, title line included. *)
+val render : t -> string
+
+val print : t -> unit
+
+(** [to_csv t] renders header + data rows as CSV (separators dropped). *)
+val to_csv : t -> string

@@ -1,0 +1,1 @@
+lib/workloads/bench.ml: List Printf String Wish_compiler Wish_isa Wish_util

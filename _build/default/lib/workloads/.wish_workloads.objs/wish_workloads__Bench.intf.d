@@ -1,0 +1,1 @@
+lib/workloads/bench.mli: Wish_compiler Wish_isa Wish_util

@@ -1,0 +1,1 @@
+lib/workloads/w_bzip2.ml: Ast Bench List Wish_compiler Wish_util

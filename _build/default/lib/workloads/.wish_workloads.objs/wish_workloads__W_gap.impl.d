@@ -1,0 +1,1 @@
+lib/workloads/w_gap.ml: Ast Bench Wish_compiler Wish_util

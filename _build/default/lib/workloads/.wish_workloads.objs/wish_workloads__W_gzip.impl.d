@@ -1,0 +1,1 @@
+lib/workloads/w_gzip.ml: Ast Bench Wish_compiler Wish_util

@@ -1,0 +1,1 @@
+lib/workloads/w_mcf.ml: Ast Bench List Wish_compiler Wish_util

@@ -1,0 +1,1 @@
+lib/workloads/w_twolf.ml: Ast Bench Wish_compiler Wish_util

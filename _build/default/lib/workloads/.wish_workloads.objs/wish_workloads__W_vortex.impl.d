@@ -1,0 +1,1 @@
+lib/workloads/w_vortex.ml: Array Ast Bench List Wish_compiler Wish_util

@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: Bench List Printf String W_bzip2 W_crafty W_gap W_gzip W_mcf W_parser W_twolf W_vortex W_vpr

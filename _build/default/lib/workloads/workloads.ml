@@ -1,0 +1,21 @@
+(** The nine benchmarks of the paper's Table 4 subset. *)
+
+let all ~scale : Bench.t list =
+  [
+    W_gzip.bench ~scale;
+    W_vpr.bench ~scale;
+    W_mcf.bench ~scale;
+    W_crafty.bench ~scale;
+    W_parser.bench ~scale;
+    W_gap.bench ~scale;
+    W_vortex.bench ~scale;
+    W_bzip2.bench ~scale;
+    W_twolf.bench ~scale;
+  ]
+
+let names = [ "gzip"; "vpr"; "mcf"; "crafty"; "parser"; "gap"; "vortex"; "bzip2"; "twolf" ]
+
+let find ~scale name =
+  match List.find_opt (fun (b : Bench.t) -> String.equal b.name name) (all ~scale) with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "unknown workload %s (know: %s)" name (String.concat ", " names))

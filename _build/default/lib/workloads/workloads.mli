@@ -1,0 +1,12 @@
+(** The nine benchmarks of the paper's Table 4 subset. *)
+
+(** [all ~scale] instantiates every workload; [scale] multiplies the
+    dynamic instruction count (1 ≈ 10^5-10^6 instructions). *)
+val all : scale:int -> Bench.t list
+
+(** In the paper's order: gzip, vpr, mcf, crafty, parser, gap, vortex,
+    bzip2, twolf. *)
+val names : string list
+
+(** [find ~scale name] — raises [Invalid_argument] for unknown names. *)
+val find : scale:int -> string -> Bench.t

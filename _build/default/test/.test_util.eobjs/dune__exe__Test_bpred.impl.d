@@ -1,0 +1,1 @@
+test/test_bpred.ml: Alcotest Btb Confidence Gshare Hybrid List Loop_pred Pas QCheck QCheck_alcotest Ras Wish_bpred

@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Array Ast Codegen Compiler Hashtbl List Option Policy Printf QCheck QCheck_alcotest Stdlib Wish_compiler Wish_emu Wish_isa

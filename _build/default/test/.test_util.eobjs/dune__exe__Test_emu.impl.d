@@ -1,0 +1,1 @@
+test/test_emu.ml: Alcotest Asm Exec Inst List Memory Printf Profile Program State Trace Wish_emu Wish_isa

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Lazy List String Wish_compiler Wish_experiments Wish_sim Wish_util

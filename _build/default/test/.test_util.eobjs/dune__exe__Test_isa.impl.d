@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Asm Code Inst List Parse Printexc Printf Program QCheck QCheck_alcotest Reg String Wish_compiler Wish_isa Wish_workloads

@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Cache Hierarchy Wish_mem

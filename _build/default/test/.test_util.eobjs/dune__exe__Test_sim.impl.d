@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Asm Config Inst List Program Runner Wish_bpred Wish_isa Wish_sim Wish_util

@@ -1,0 +1,1 @@
+test/test_sim_units.ml: Alcotest Asm Inst Oracle Program Rat Uop Wish_emu Wish_fsm Wish_isa Wish_sim

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Counter Heap List Lru QCheck QCheck_alcotest Ring Rng Stats String Table Wish_util

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Bench Lazy List Printf Wish_compiler Wish_emu Wish_isa Wish_sim Wish_workloads Workloads

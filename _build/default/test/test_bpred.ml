@@ -1,0 +1,310 @@
+(* Tests for the branch-prediction library. *)
+
+open Wish_bpred
+
+let check = Alcotest.check
+let qtest t = QCheck_alcotest.to_alcotest ~speed_level:`Quick t
+
+(* Gshare ---------------------------------------------------------------- *)
+
+let test_gshare_learns_bias () =
+  let g = Gshare.create ~index_bits:10 in
+  for _ = 1 to 10 do
+    Gshare.train g ~pc:100 ~history:0 ~taken:true
+  done;
+  Alcotest.(check bool) "learned taken" true (Gshare.predict g ~pc:100 ~history:0);
+  for _ = 1 to 10 do
+    Gshare.train g ~pc:100 ~history:0 ~taken:false
+  done;
+  Alcotest.(check bool) "relearned not-taken" false (Gshare.predict g ~pc:100 ~history:0)
+
+let test_gshare_history_disambiguates () =
+  let g = Gshare.create ~index_bits:10 in
+  for _ = 1 to 8 do
+    Gshare.train g ~pc:5 ~history:0b1010 ~taken:true;
+    Gshare.train g ~pc:5 ~history:0b0101 ~taken:false
+  done;
+  Alcotest.(check bool) "ctx1 taken" true (Gshare.predict g ~pc:5 ~history:0b1010);
+  Alcotest.(check bool) "ctx2 not" false (Gshare.predict g ~pc:5 ~history:0b0101)
+
+(* PAs -------------------------------------------------------------------- *)
+
+let test_pas_learns_period () =
+  let p = Pas.create ~bht_bits:6 ~hist_bits:8 ~pht_bits:14 in
+  let pattern = [ true; true; false ] in
+  for _ = 1 to 60 do
+    List.iter
+      (fun taken ->
+        let _, idx = Pas.predict p ~pc:7 in
+        Pas.train_at p idx ~taken;
+        ignore (Pas.spec_update p ~pc:7 ~taken))
+      pattern
+  done;
+  let correct = ref 0 in
+  for _ = 1 to 10 do
+    List.iter
+      (fun taken ->
+        let predicted, idx = Pas.predict p ~pc:7 in
+        if predicted = taken then incr correct;
+        Pas.train_at p idx ~taken;
+        ignore (Pas.spec_update p ~pc:7 ~taken))
+      pattern
+  done;
+  Alcotest.(check bool) "period learned (>= 28/30)" true (!correct >= 28)
+
+let test_pas_restore () =
+  let p = Pas.create ~bht_bits:4 ~hist_bits:6 ~pht_bits:10 in
+  let h0 = Pas.local_history p ~pc:3 in
+  let old = Pas.spec_update p ~pc:3 ~taken:true in
+  Pas.restore p ~pc:3 ~old;
+  check Alcotest.int "restored" h0 (Pas.local_history p ~pc:3)
+
+(* Hybrid ------------------------------------------------------------------ *)
+
+(* Mirror the core's protocol: speculative history update with the
+   predicted direction, corrected on a misprediction (the flush path). *)
+let train_stream h ~pc outcomes =
+  List.iter
+    (fun taken ->
+      let l = Hybrid.predict h ~pc in
+      let snap = Hybrid.spec_update h ~pc ~dir:l.Hybrid.taken in
+      if l.Hybrid.taken <> taken then Hybrid.correct h snap ~dir:taken;
+      Hybrid.train h l ~taken)
+    outcomes
+
+let accuracy h ~pc outcomes =
+  let correct = ref 0 in
+  List.iter
+    (fun taken ->
+      let l = Hybrid.predict h ~pc in
+      if l.Hybrid.taken = taken then incr correct;
+      let snap = Hybrid.spec_update h ~pc ~dir:l.Hybrid.taken in
+      if l.Hybrid.taken <> taken then Hybrid.correct h snap ~dir:taken;
+      Hybrid.train h l ~taken)
+    outcomes;
+  float_of_int !correct /. float_of_int (List.length outcomes)
+
+let test_hybrid_biased_branch () =
+  let h = Hybrid.create Hybrid.default_config in
+  let stream = List.init 200 (fun _ -> true) in
+  train_stream h ~pc:11 stream;
+  Alcotest.(check bool) "always-taken >99%" true (accuracy h ~pc:11 stream > 0.99)
+
+let test_hybrid_pattern_branch () =
+  let h = Hybrid.create Hybrid.default_config in
+  let pattern = List.concat (List.init 100 (fun _ -> [ true; true; true; false ])) in
+  train_stream h ~pc:13 pattern;
+  Alcotest.(check bool) "period-4 loop learned" true (accuracy h ~pc:13 pattern > 0.9)
+
+let test_hybrid_snapshot_roundtrip () =
+  let h = Hybrid.create Hybrid.default_config in
+  train_stream h ~pc:3 [ true; false; true ];
+  let before = Hybrid.global_history h in
+  let s1 = Hybrid.spec_update h ~pc:3 ~dir:true in
+  let s2 = Hybrid.spec_update h ~pc:4 ~dir:false in
+  Alcotest.(check bool) "history moved" true (Hybrid.global_history h <> before);
+  Hybrid.restore h s2;
+  Hybrid.restore h s1;
+  check Alcotest.int "history restored" before (Hybrid.global_history h)
+
+let prop_hybrid_restore_stack =
+  QCheck.Test.make ~name:"hybrid restore undoes any update stack" ~count:100
+    QCheck.(list (pair (int_range 0 63) bool))
+    (fun updates ->
+      let h = Hybrid.create Hybrid.default_config in
+      ignore (Hybrid.spec_update h ~pc:1 ~dir:true);
+      let before = Hybrid.global_history h in
+      let snaps = List.map (fun (pc, dir) -> Hybrid.spec_update h ~pc ~dir) updates in
+      List.iter (Hybrid.restore h) (List.rev snaps);
+      Hybrid.global_history h = before)
+
+let test_hybrid_correct_reapplies () =
+  let h = Hybrid.create Hybrid.default_config in
+  let s = Hybrid.spec_update h ~pc:9 ~dir:true in
+  let wrong_path = Hybrid.global_history h in
+  Hybrid.correct h s ~dir:false;
+  Alcotest.(check bool) "history rewritten" true (Hybrid.global_history h <> wrong_path)
+
+(* BTB ---------------------------------------------------------------------- *)
+
+let test_btb_insert_lookup () =
+  let b = Btb.create ~entries:64 ~ways:4 in
+  Alcotest.(check bool) "cold miss" true (Btb.lookup b ~pc:100 = None);
+  Btb.insert b ~pc:100 ~target:7 ~is_wish:true;
+  match Btb.lookup b ~pc:100 with
+  | Some e ->
+    check Alcotest.int "target" 7 e.Btb.target;
+    Alcotest.(check bool) "wish flag" true e.Btb.is_wish
+  | None -> Alcotest.fail "expected hit"
+
+let test_btb_capacity_eviction () =
+  let b = Btb.create ~entries:16 ~ways:4 in
+  (* 4 sets x 4 ways; flood set 0 (pcs congruent mod 4) with 5 entries. *)
+  List.iter (fun pc -> Btb.insert b ~pc ~target:pc ~is_wish:false) [ 0; 4; 8; 12; 16 ];
+  Alcotest.(check bool) "oldest evicted" true (Btb.lookup b ~pc:0 = None);
+  Alcotest.(check bool) "newest present" true (Btb.lookup b ~pc:16 <> None)
+
+(* RAS ---------------------------------------------------------------------- *)
+
+let test_ras_lifo () =
+  let r = Ras.create ~entries:4 in
+  Ras.push r 10;
+  Ras.push r 20;
+  check Alcotest.int "pop newest" 20 (Ras.pop r);
+  check Alcotest.int "then older" 10 (Ras.pop r);
+  check Alcotest.int "empty predicts 0" 0 (Ras.pop r)
+
+let test_ras_overflow_wraps () =
+  let r = Ras.create ~entries:2 in
+  List.iter (Ras.push r) [ 1; 2; 3 ];
+  check Alcotest.int "newest survives" 3 (Ras.pop r);
+  check Alcotest.int "2 survives" 2 (Ras.pop r);
+  (* 1 was overwritten by 3 (capacity 2, circular). *)
+  check Alcotest.int "oldest overwritten" 3 (Ras.pop r)
+
+let test_ras_snapshot_restore () =
+  let r = Ras.create ~entries:8 in
+  Ras.push r 5;
+  let snap = Ras.snapshot r in
+  Ras.push r 6;
+  ignore (Ras.pop r);
+  ignore (Ras.pop r);
+  Ras.restore r snap;
+  check Alcotest.int "pointer restored" 5 (Ras.pop r)
+
+(* Confidence ----------------------------------------------------------------- *)
+
+let conf_config = Confidence.default_config
+
+let test_confidence_streak () =
+  let c = Confidence.create conf_config in
+  Alcotest.(check bool) "unknown branch is low" false
+    (Confidence.is_high_confidence c ~pc:50 ~history:0);
+  for _ = 1 to conf_config.Confidence.threshold do
+    Confidence.train c ~pc:50 ~history:0 ~correct:true
+  done;
+  Alcotest.(check bool) "streak reaches high" true
+    (Confidence.is_high_confidence c ~pc:50 ~history:0)
+
+let test_confidence_resets_on_mispredict () =
+  let c = Confidence.create conf_config in
+  for _ = 1 to conf_config.Confidence.threshold + 3 do
+    Confidence.train c ~pc:50 ~history:0 ~correct:true
+  done;
+  Confidence.train c ~pc:50 ~history:0 ~correct:false;
+  Alcotest.(check bool) "reset to low" false (Confidence.is_high_confidence c ~pc:50 ~history:0)
+
+let test_confidence_per_pc () =
+  let c = Confidence.create conf_config in
+  for _ = 1 to conf_config.Confidence.threshold do
+    Confidence.train c ~pc:50 ~history:0 ~correct:true
+  done;
+  Alcotest.(check bool) "other pc unaffected" false
+    (Confidence.is_high_confidence c ~pc:51 ~history:0)
+
+(* Loop predictor ---------------------------------------------------------------- *)
+
+let loop_visit lp ~pc ~trips =
+  for _ = 1 to trips do
+    ignore (Loop_pred.predict lp ~pc);
+    Loop_pred.spec_iterate lp ~pc ~taken:true;
+    Loop_pred.train lp ~pc ~taken:true
+  done;
+  ignore (Loop_pred.predict lp ~pc);
+  Loop_pred.spec_iterate lp ~pc ~taken:false;
+  Loop_pred.train lp ~pc ~taken:false
+
+let test_loop_pred_exact_mode () =
+  let lp = Loop_pred.create () in
+  Alcotest.(check bool) "untrained" true (Loop_pred.predict lp ~pc:9 = Loop_pred.No_prediction);
+  for _ = 1 to 5 do
+    loop_visit lp ~pc:9 ~trips:4
+  done;
+  let preds = ref [] in
+  for _ = 1 to 4 do
+    (match Loop_pred.predict lp ~pc:9 with
+    | Loop_pred.Exact d -> preds := d :: !preds
+    | _ -> Alcotest.fail "expected exact mode");
+    Loop_pred.spec_iterate lp ~pc:9 ~taken:true;
+    Loop_pred.train lp ~pc:9 ~taken:true
+  done;
+  (match Loop_pred.predict lp ~pc:9 with
+  | Loop_pred.Exact d -> preds := d :: !preds
+  | _ -> Alcotest.fail "expected exact mode");
+  check
+    Alcotest.(list bool)
+    "T T T T N, exactly"
+    [ true; true; true; true; false ]
+    (List.rev !preds)
+
+let test_loop_pred_biased_overestimates () =
+  let lp = Loop_pred.create ~bias:2 () in
+  List.iter (fun t -> loop_visit lp ~pc:4 ~trips:t) [ 3; 5; 4; 6; 3; 5; 4 ];
+  (match Loop_pred.predict lp ~pc:4 with
+  | Loop_pred.Biased d -> Alcotest.(check bool) "keeps iterating at start" true d
+  | _ -> Alcotest.fail "expected biased mode");
+  for _ = 1 to 10 do
+    Loop_pred.spec_iterate lp ~pc:4 ~taken:true
+  done;
+  match Loop_pred.predict lp ~pc:4 with
+  | Loop_pred.Biased d -> Alcotest.(check bool) "eventually exits" false d
+  | _ -> Alcotest.fail "expected biased mode"
+
+let test_loop_pred_squash () =
+  let lp = Loop_pred.create () in
+  loop_visit lp ~pc:2 ~trips:3;
+  for _ = 1 to 7 do
+    Loop_pred.spec_iterate lp ~pc:2 ~taken:true
+  done;
+  Loop_pred.squash lp ~pc:2;
+  loop_visit lp ~pc:2 ~trips:3;
+  loop_visit lp ~pc:2 ~trips:3;
+  match Loop_pred.predict lp ~pc:2 with
+  | Loop_pred.Exact d | Loop_pred.Biased d -> Alcotest.(check bool) "iterates" true d
+  | Loop_pred.No_prediction -> Alcotest.fail "trained predictor"
+
+let () =
+  Alcotest.run "wish_bpred"
+    [
+      ( "gshare",
+        [
+          Alcotest.test_case "learns bias" `Quick test_gshare_learns_bias;
+          Alcotest.test_case "history disambiguates" `Quick test_gshare_history_disambiguates;
+        ] );
+      ( "pas",
+        [
+          Alcotest.test_case "learns period" `Quick test_pas_learns_period;
+          Alcotest.test_case "restore" `Quick test_pas_restore;
+        ] );
+      ( "hybrid",
+        [
+          Alcotest.test_case "biased branch" `Quick test_hybrid_biased_branch;
+          Alcotest.test_case "pattern branch" `Quick test_hybrid_pattern_branch;
+          Alcotest.test_case "snapshot roundtrip" `Quick test_hybrid_snapshot_roundtrip;
+          Alcotest.test_case "correct reapplies" `Quick test_hybrid_correct_reapplies;
+          qtest prop_hybrid_restore_stack;
+        ] );
+      ( "btb",
+        [
+          Alcotest.test_case "insert/lookup" `Quick test_btb_insert_lookup;
+          Alcotest.test_case "eviction" `Quick test_btb_capacity_eviction;
+        ] );
+      ( "ras",
+        [
+          Alcotest.test_case "lifo" `Quick test_ras_lifo;
+          Alcotest.test_case "overflow wraps" `Quick test_ras_overflow_wraps;
+          Alcotest.test_case "snapshot" `Quick test_ras_snapshot_restore;
+        ] );
+      ( "confidence",
+        [
+          Alcotest.test_case "streak" `Quick test_confidence_streak;
+          Alcotest.test_case "reset on mispredict" `Quick test_confidence_resets_on_mispredict;
+          Alcotest.test_case "per pc" `Quick test_confidence_per_pc;
+        ] );
+      ( "loop_pred",
+        [
+          Alcotest.test_case "exact mode" `Quick test_loop_pred_exact_mode;
+          Alcotest.test_case "biased overestimates" `Quick test_loop_pred_biased_overestimates;
+          Alcotest.test_case "squash" `Quick test_loop_pred_squash;
+        ] );
+    ]

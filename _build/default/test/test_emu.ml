@@ -1,0 +1,322 @@
+(* Tests for the architectural emulator: per-opcode semantics, predication
+   (including cmp.unc), control flow, tracing, and profiling. *)
+
+open Wish_isa
+open Wish_emu
+
+let check = Alcotest.check
+
+let run_items ?data ?(mem_words = 1024) items =
+  let program = Program.create ~mem_words ?data (Asm.assemble items) in
+  Exec.run program
+
+let reg st r = State.read_reg st r
+let pred st p = State.read_pred st p
+
+(* Arithmetic ------------------------------------------------------------ *)
+
+let test_alu_semantics () =
+  let st =
+    run_items
+      Asm.[
+        movi 3 10;
+        movi 4 3;
+        alu Inst.Add 5 3 (Inst.Reg 4);
+        alu Inst.Sub 6 3 (Inst.Reg 4);
+        alu Inst.Mul 7 3 (Inst.Reg 4);
+        alu Inst.And 8 3 (Inst.Imm 6);
+        alu Inst.Or 9 3 (Inst.Imm 5);
+        alu Inst.Xor 10 3 (Inst.Imm 6);
+        alu Inst.Shl 11 3 (Inst.Imm 2);
+        alu Inst.Shr 12 3 (Inst.Imm 1);
+        halt;
+      ]
+  in
+  List.iter
+    (fun (r, v) -> check Alcotest.int (Printf.sprintf "r%d" r) v (reg st r))
+    [ (5, 13); (6, 7); (7, 30); (8, 2); (9, 15); (10, 12); (11, 40); (12, 5) ]
+
+let test_r0_hardwired () =
+  let st = run_items Asm.[ movi 0 99; alu Inst.Add 3 0 (Inst.Imm 1); halt ] in
+  check Alcotest.int "r0 stays zero" 0 (reg st 0);
+  check Alcotest.int "reads as zero" 1 (reg st 3)
+
+let test_cmp_semantics () =
+  let st =
+    run_items
+      Asm.[
+        movi 3 5;
+        cmp Inst.Lt ~dst_false:2 1 3 (Inst.Imm 9);
+        cmp Inst.Eq ~dst_false:4 3 3 (Inst.Imm 9);
+        halt;
+      ]
+  in
+  Alcotest.(check bool) "lt true" true (pred st 1);
+  Alcotest.(check bool) "complement false" false (pred st 2);
+  Alcotest.(check bool) "eq false" false (pred st 3);
+  Alcotest.(check bool) "complement true" true (pred st 4)
+
+let test_p0_hardwired () =
+  let st = run_items Asm.[ pset 0 false; halt ] in
+  Alcotest.(check bool) "p0 stays true" true (pred st 0)
+
+(* Predication ------------------------------------------------------------ *)
+
+let test_guard_false_is_nop () =
+  let st =
+    run_items
+      Asm.[
+        movi 3 1;
+        pset 1 false;
+        movi ~guard:1 3 99; (* NOP *)
+        store ~guard:1 3 0 7; (* NOP *)
+        halt;
+      ]
+  in
+  check Alcotest.int "reg unchanged" 1 (reg st 3);
+  check Alcotest.int "memory unchanged" 0 (Memory.read st.mem 7)
+
+let test_guarded_branch_not_taken () =
+  let st =
+    run_items
+      Asm.[
+        pset 1 false;
+        br ~guard:1 "skip"; (* guard false: falls through *)
+        movi 3 42;
+        label "skip";
+        halt;
+      ]
+  in
+  check Alcotest.int "fall through executed" 42 (reg st 3)
+
+let test_cmp_unc_clears_on_false_guard () =
+  let st =
+    run_items
+      Asm.[
+        pset 1 true;
+        pset 2 true;
+        pset 3 false;
+        movi 4 1;
+        cmp ~guard:3 ~unc:true Inst.Eq ~dst_false:2 1 4 (Inst.Imm 1);
+        halt;
+      ]
+  in
+  Alcotest.(check bool) "unc clears dst_true" false (pred st 1);
+  Alcotest.(check bool) "unc clears dst_false" false (pred st 2)
+
+let test_cmp_normal_keeps_on_false_guard () =
+  let st =
+    run_items
+      Asm.[
+        pset 1 true;
+        pset 3 false;
+        movi 4 1;
+        cmp ~guard:3 Inst.Eq 1 4 (Inst.Imm 0);
+        halt;
+      ]
+  in
+  Alcotest.(check bool) "normal cmp leaves dest" true (pred st 1)
+
+(* Control flow ------------------------------------------------------------ *)
+
+let test_loop_execution () =
+  let st =
+    run_items
+      Asm.[
+        movi 3 0;
+        movi 4 0;
+        label "loop";
+        alu Inst.Add 4 4 (Inst.Reg 3);
+        alu Inst.Add 3 3 (Inst.Imm 1);
+        cmp Inst.Lt 1 3 (Inst.Imm 10);
+        br ~guard:1 "loop";
+        halt;
+      ]
+  in
+  check Alcotest.int "sum 0..9" 45 (reg st 4)
+
+let test_call_return () =
+  let st =
+    run_items
+      Asm.[
+        movi 3 5;
+        call "double";
+        call "double";
+        jmp "end";
+        label "double";
+        alu Inst.Add 3 3 (Inst.Reg 3);
+        ret ();
+        label "end";
+        halt;
+      ]
+  in
+  check Alcotest.int "doubled twice" 20 (reg st 3)
+
+let test_return_underflow () =
+  Alcotest.check_raises "empty RA stack" (State.Call_stack_error "return with empty call stack")
+    (fun () -> ignore (run_items Asm.[ ret () ]))
+
+let test_wish_branches_architectural () =
+  (* Figure 3c hammock: wish jump/join behave as normal branches
+     architecturally. *)
+  let items cond_value =
+    Asm.[
+      movi 3 cond_value;
+      cmp Inst.Eq ~dst_false:2 1 3 (Inst.Imm 1);
+      wish_jump ~guard:1 "then_";
+      movi ~guard:2 4 100;
+      wish_join ~guard:2 "join";
+      label "then_";
+      movi ~guard:1 4 200;
+      label "join";
+      halt;
+    ]
+  in
+  check Alcotest.int "taken path" 200 (reg (run_items (items 1)) 4);
+  check Alcotest.int "fallthrough path" 100 (reg (run_items (items 0)) 4)
+
+(* Memory ------------------------------------------------------------------ *)
+
+let test_load_store () =
+  let st = run_items ~data:[ (10, 7) ] Asm.[ load 3 0 10; alu Inst.Add 3 3 (Inst.Imm 1); store 3 0 11; halt ] in
+  check Alcotest.int "load+store" 8 (Memory.read st.mem 11)
+
+let test_memory_fault () =
+  Alcotest.check_raises "out of range" (Memory.Fault 4096) (fun () ->
+      ignore (run_items ~mem_words:4096 Asm.[ movi 3 4096; load 4 3 0; halt ]))
+
+let test_fuel_exhaustion () =
+  let code = Asm.(assemble [ label "spin"; jmp "spin"; halt ]) in
+  let program = Program.create ~mem_words:64 code in
+  Alcotest.check_raises "runaway" (Exec.Out_of_fuel 1000) (fun () ->
+      ignore (Exec.run ~fuel:1000 program))
+
+(* Tracing ------------------------------------------------------------------ *)
+
+let hammock_program cond_value =
+  Program.create ~mem_words:64
+    (Asm.assemble
+       Asm.[
+         movi 3 cond_value;
+         cmp Inst.Eq ~dst_false:2 1 3 (Inst.Imm 1);
+         wish_jump ~guard:1 "then_";
+         movi ~guard:2 4 100;
+         wish_join ~guard:2 "join";
+         label "then_";
+         movi ~guard:1 4 200;
+         label "join";
+         store 4 0 5;
+         halt;
+       ])
+
+let test_trace_predicate_through_equivalence () =
+  List.iter
+    (fun c ->
+      let p = hammock_program c in
+      let arch = State.outcome (Exec.run p) in
+      let _, st = Trace.generate p in
+      check Alcotest.int "same memory" arch.memory_checksum (State.outcome st).memory_checksum)
+    [ 0; 1 ]
+
+let test_trace_linearizes_wish_region () =
+  (* In predicate-through mode every instruction of the region appears in
+     the trace, wish jump/join never redirect. *)
+  let p = hammock_program 1 in
+  let tr, _ = Trace.generate p in
+  check Alcotest.int "all instructions traced" 8 (Trace.length tr);
+  (* Entry 3 is the guard-false else-side mov. *)
+  Alcotest.(check bool) "else side is a NOP" false (Trace.guard_true tr 3);
+  (* The wish jump (index 2) records its would-be direction. *)
+  Alcotest.(check bool) "jump direction recorded" true (Trace.taken tr 2);
+  check Alcotest.int "but falls through" 3 (Trace.next_pc tr 2)
+
+let test_trace_wish_loop_keeps_semantics () =
+  let p =
+    Program.create ~mem_words:64
+      (Asm.assemble
+         Asm.[
+           movi 3 0;
+           pset 1 true;
+           label "loop";
+           alu ~guard:1 Inst.Add 3 3 (Inst.Imm 1);
+           cmp ~guard:1 Inst.Lt 1 3 (Inst.Imm 4);
+           wish_loop ~guard:1 "loop";
+           store 3 0 5;
+           halt;
+         ])
+  in
+  let tr, st = Trace.generate p in
+  check Alcotest.int "loop ran" 4 (Memory.read st.mem 5);
+  (* Wish loops are NOT linearized: the backward branch is followed. *)
+  Alcotest.(check bool) "trace longer than code" true (Trace.length tr > 8)
+
+(* Profiling ----------------------------------------------------------------- *)
+
+let test_profile_counts () =
+  let p =
+    Program.create ~mem_words:64
+      (Asm.assemble
+         Asm.[
+           movi 3 0;
+           label "loop";
+           alu Inst.Add 3 3 (Inst.Imm 1);
+           cmp Inst.Lt 1 3 (Inst.Imm 10);
+           br ~guard:1 "loop";
+           halt;
+         ])
+  in
+  let prof, _ = Profile.of_program p in
+  check Alcotest.int "one static branch" 1 (Profile.static_branch_count prof);
+  check (Alcotest.float 1e-9) "taken rate 9/10" 0.9 (Profile.taken_rate prof 3);
+  check Alcotest.int "dynamic cond branches" 10 prof.dynamic_cond_branches
+
+let test_outcome_ignores_registers () =
+  let a = run_items Asm.[ movi 3 1; store 3 0 5; halt ] in
+  let b = run_items Asm.[ movi 9 1; store 9 0 5; movi 10 77; halt ] in
+  Alcotest.(check bool) "same outcome"
+    true
+    ((State.outcome a).memory_checksum = (State.outcome b).memory_checksum)
+
+let () =
+  Alcotest.run "wish_emu"
+    [
+      ( "alu",
+        [
+          Alcotest.test_case "semantics" `Quick test_alu_semantics;
+          Alcotest.test_case "r0 hardwired" `Quick test_r0_hardwired;
+          Alcotest.test_case "cmp" `Quick test_cmp_semantics;
+          Alcotest.test_case "p0 hardwired" `Quick test_p0_hardwired;
+        ] );
+      ( "predication",
+        [
+          Alcotest.test_case "guard-false is NOP" `Quick test_guard_false_is_nop;
+          Alcotest.test_case "guarded branch" `Quick test_guarded_branch_not_taken;
+          Alcotest.test_case "cmp.unc clears" `Quick test_cmp_unc_clears_on_false_guard;
+          Alcotest.test_case "cmp keeps" `Quick test_cmp_normal_keeps_on_false_guard;
+        ] );
+      ( "control",
+        [
+          Alcotest.test_case "loop" `Quick test_loop_execution;
+          Alcotest.test_case "call/return" `Quick test_call_return;
+          Alcotest.test_case "return underflow" `Quick test_return_underflow;
+          Alcotest.test_case "wish branches" `Quick test_wish_branches_architectural;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "load/store" `Quick test_load_store;
+          Alcotest.test_case "fault" `Quick test_memory_fault;
+          Alcotest.test_case "fuel" `Quick test_fuel_exhaustion;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "predicate-through equivalence" `Quick
+            test_trace_predicate_through_equivalence;
+          Alcotest.test_case "linearizes wish regions" `Quick test_trace_linearizes_wish_region;
+          Alcotest.test_case "wish loops keep semantics" `Quick test_trace_wish_loop_keeps_semantics;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "counts" `Quick test_profile_counts;
+          Alcotest.test_case "outcome ignores registers" `Quick test_outcome_ignores_registers;
+        ] );
+    ]

@@ -1,0 +1,106 @@
+(* Experiment-harness tests on a reduced lab (two benchmarks) so the suite
+   stays fast while covering caching, figure structure, and the headline
+   directional results. *)
+
+module Lab = Wish_experiments.Lab
+module Figures = Wish_experiments.Figures
+module Policy = Wish_compiler.Policy
+module Config = Wish_sim.Config
+
+let check = Alcotest.check
+
+(* One lab shared by all tests: results are memoized inside. *)
+let lab = lazy (Lab.create ~scale:1 ~names:[ "gzip"; "gap" ] ())
+
+let test_lab_caches_results () =
+  let lab = Lazy.force lab in
+  let a = Lab.run lab ~bench:"gap" ~kind:Policy.Normal () in
+  let b = Lab.run lab ~bench:"gap" ~kind:Policy.Normal () in
+  Alcotest.(check bool) "same physical result" true (a == b);
+  let c = Lab.run lab ~bench:"gap" ~kind:Policy.Normal ~config:(Config.with_rob Config.default 128) () in
+  Alcotest.(check bool) "different config differs" true (a != c)
+
+let test_normalized_baseline_is_one () =
+  let lab = Lazy.force lab in
+  check (Alcotest.float 1e-9) "normal/normal = 1" 1.0
+    (Lab.normalized lab ~bench:"gzip" ~kind:Policy.Normal ())
+
+let test_perfect_bp_wins () =
+  let lab = Lazy.force lab in
+  let config = { Config.default with knobs = { Config.no_knobs with perfect_bp = true } } in
+  Alcotest.(check bool) "PERFECT-CBP below 1" true
+    (Lab.normalized lab ~bench:"gzip" ~kind:Policy.Normal ~config () < 0.95)
+
+let test_wish_adapts_on_gap () =
+  (* gap: predictable branches. BASE-MAX pays predication overhead; the
+     wish binary must stay close to normal (the paper's adaptivity claim). *)
+  let lab = Lazy.force lab in
+  let base_max = Lab.normalized lab ~bench:"gap" ~kind:Policy.Base_max () in
+  let wish = Lab.normalized lab ~bench:"gap" ~kind:Policy.Wish_jj () in
+  Alcotest.(check bool) "BASE-MAX pays overhead" true (base_max > 1.1);
+  Alcotest.(check bool) "wish avoids most of it" true (wish < 1.1)
+
+let test_wish_wins_on_gzip () =
+  let lab = Lazy.force lab in
+  let wish = Lab.normalized lab ~bench:"gzip" ~kind:Policy.Wish_jjl () in
+  Alcotest.(check bool) "wish-jjl beats normal on gzip" true (wish < 1.0)
+
+let row_count table =
+  (* Rendered tables have one line per row plus borders; count data lines. *)
+  let s = Wish_util.Table.render table in
+  List.length (List.filter (fun l -> String.length l > 0 && l.[0] = '|') (String.split_on_char '\n' s))
+
+let test_figure_structure () =
+  let lab = Lazy.force lab in
+  (* Two benchmarks: per-benchmark figures have 2 data rows + header (+2 avg
+     rows for exec-time figures). *)
+  check Alcotest.int "fig1 rows" 3 (row_count (Figures.fig1 lab));
+  check Alcotest.int "fig10 rows" 5 (row_count (Figures.fig10 lab));
+  check Alcotest.int "fig11 rows" 3 (row_count (Figures.fig11 lab));
+  check Alcotest.int "fig12 rows" 5 (row_count (Figures.fig12 lab));
+  check Alcotest.int "fig13 rows" 3 (row_count (Figures.fig13 lab));
+  check Alcotest.int "fig14 rows" 7 (row_count (Figures.fig14 lab));
+  check Alcotest.int "tab5 rows" 4 (row_count (Figures.table5 lab))
+
+let test_all_artifacts_listed () =
+  check
+    Alcotest.(list string)
+    "artifact ids"
+    [ "fig1"; "fig2"; "fig10"; "fig11"; "fig12"; "fig13"; "fig14"; "fig15"; "fig16"; "tab4"; "tab5" ]
+    (List.map fst Figures.all);
+  Alcotest.(check bool) "find works" true (Figures.find "fig10" <> None);
+  Alcotest.(check bool) "find rejects junk" true (Figures.find "fig99" = None)
+
+let test_fig2_ordering () =
+  (* Idealization can only help: NO-DEPEND+NO-FETCH <= NO-DEPEND <= BASE-MAX
+     (on gap, where predication overhead is the story). *)
+  let lab = Lazy.force lab in
+  let v knobs = Lab.normalized lab ~bench:"gap" ~kind:Policy.Base_max
+      ~config:{ Config.default with knobs } () in
+  let base = v Config.no_knobs in
+  let nd = v { Config.no_knobs with no_depend = true } in
+  let ndnf = v { Config.no_knobs with no_depend = true; no_fetch = true } in
+  Alcotest.(check bool) "no-depend helps" true (nd <= base +. 0.01);
+  Alcotest.(check bool) "no-fetch helps further" true (ndnf <= nd +. 0.01)
+
+let () =
+  Alcotest.run "wish_experiments"
+    [
+      ( "lab",
+        [
+          Alcotest.test_case "caches results" `Quick test_lab_caches_results;
+          Alcotest.test_case "baseline is one" `Quick test_normalized_baseline_is_one;
+        ] );
+      ( "direction",
+        [
+          Alcotest.test_case "perfect bp wins" `Slow test_perfect_bp_wins;
+          Alcotest.test_case "wish adapts on gap" `Slow test_wish_adapts_on_gap;
+          Alcotest.test_case "wish wins on gzip" `Slow test_wish_wins_on_gzip;
+          Alcotest.test_case "fig2 ordering" `Slow test_fig2_ordering;
+        ] );
+      ( "figures",
+        [
+          Alcotest.test_case "structure" `Slow test_figure_structure;
+          Alcotest.test_case "artifact list" `Quick test_all_artifacts_listed;
+        ] );
+    ]

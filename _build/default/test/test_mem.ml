@@ -1,0 +1,109 @@
+(* Tests for the cache and memory-hierarchy timing models. *)
+
+open Wish_mem
+
+let check = Alcotest.check
+
+let small_cache () =
+  Cache.create { Cache.size_bytes = 512; ways = 2; line_bytes = 64; latency = 2 }
+(* 8 lines total, 4 sets x 2 ways. *)
+
+let test_cache_cold_then_hit () =
+  let c = small_cache () in
+  Alcotest.(check bool) "cold miss" false (Cache.access c ~byte_addr:0);
+  Alcotest.(check bool) "then hit" true (Cache.access c ~byte_addr:0);
+  Alcotest.(check bool) "same line hits" true (Cache.access c ~byte_addr:63);
+  Alcotest.(check bool) "next line misses" false (Cache.access c ~byte_addr:64)
+
+let test_cache_lru_within_set () =
+  let c = small_cache () in
+  (* Lines mapping to set 0: line addresses 0, 4, 8 (4 sets). *)
+  let addr line = line * 64 in
+  ignore (Cache.access c ~byte_addr:(addr 0));
+  ignore (Cache.access c ~byte_addr:(addr 4));
+  ignore (Cache.access c ~byte_addr:(addr 0)); (* refresh line 0 *)
+  ignore (Cache.access c ~byte_addr:(addr 8)); (* evicts line 4 *)
+  Alcotest.(check bool) "line 0 survived" true (Cache.probe c ~byte_addr:(addr 0));
+  Alcotest.(check bool) "line 4 evicted" false (Cache.probe c ~byte_addr:(addr 4));
+  Alcotest.(check bool) "line 8 present" true (Cache.probe c ~byte_addr:(addr 8))
+
+let test_cache_counters () =
+  let c = small_cache () in
+  ignore (Cache.access c ~byte_addr:0);
+  ignore (Cache.access c ~byte_addr:0);
+  ignore (Cache.access c ~byte_addr:128);
+  check Alcotest.int "accesses" 3 (Cache.accesses c);
+  check Alcotest.int "misses" 2 (Cache.misses c);
+  check (Alcotest.float 1e-9) "miss rate" (2.0 /. 3.0) (Cache.miss_rate c)
+
+let test_cache_probe_no_side_effect () =
+  let c = small_cache () in
+  Alcotest.(check bool) "probe miss" false (Cache.probe c ~byte_addr:0);
+  check Alcotest.int "no access counted" 0 (Cache.accesses c);
+  Alcotest.(check bool) "still cold" false (Cache.access c ~byte_addr:0)
+
+(* Hierarchy ------------------------------------------------------------- *)
+
+let cfg = Hierarchy.default_config
+
+let test_hierarchy_data_latencies () =
+  let h = Hierarchy.create cfg in
+  let first = Hierarchy.access_data h ~now:0 ~byte_addr:0 in
+  Alcotest.(check bool) "cold miss goes to memory"
+    true
+    (first >= cfg.Hierarchy.memory_latency + cfg.l1d.latency + cfg.l2.latency);
+  let second = Hierarchy.access_data h ~now:1000 ~byte_addr:8 in
+  check Alcotest.int "L1 hit" cfg.l1d.latency second
+
+let test_hierarchy_l2_hit () =
+  let h = Hierarchy.create cfg in
+  ignore (Hierarchy.access_data h ~now:0 ~byte_addr:0);
+  (* Evict line 0 from L1 (4-way, 256 sets at 64B lines -> addresses
+     16KiB apart share a set). *)
+  for k = 1 to 8 do
+    ignore (Hierarchy.access_data h ~now:0 ~byte_addr:(k * 16384))
+  done;
+  let lat = Hierarchy.access_data h ~now:1000 ~byte_addr:0 in
+  check Alcotest.int "L1 miss, L2 hit" (cfg.l1d.latency + cfg.l2.latency) lat
+
+let test_hierarchy_inst_path () =
+  let h = Hierarchy.create cfg in
+  let cold = Hierarchy.access_inst h ~now:0 ~byte_addr:0 in
+  Alcotest.(check bool) "cold fetch stalls" true (cold >= cfg.Hierarchy.memory_latency);
+  check Alcotest.int "warm fetch free" 0 (Hierarchy.access_inst h ~now:10 ~byte_addr:0)
+
+let test_bank_contention () =
+  let h = Hierarchy.create cfg in
+  (* Two misses to the same bank back to back: the second waits. *)
+  let a1 = Hierarchy.access_data h ~now:0 ~byte_addr:0 in
+  let a2 = Hierarchy.access_data h ~now:0 ~byte_addr:(cfg.Hierarchy.memory_banks * 64) in
+  Alcotest.(check bool) "second delayed by bank busy" true (a2 > a1)
+
+let test_stats_accumulate () =
+  let h = Hierarchy.create cfg in
+  ignore (Hierarchy.access_data h ~now:0 ~byte_addr:0);
+  ignore (Hierarchy.access_data h ~now:0 ~byte_addr:8);
+  let s = Hierarchy.stats h in
+  check Alcotest.int "l1d accesses" 2 s.Hierarchy.l1d_accesses;
+  check Alcotest.int "l1d misses" 1 s.l1d_misses;
+  check Alcotest.int "l2 misses" 1 s.l2_misses
+
+let () =
+  Alcotest.run "wish_mem"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "cold then hit" `Quick test_cache_cold_then_hit;
+          Alcotest.test_case "lru within set" `Quick test_cache_lru_within_set;
+          Alcotest.test_case "counters" `Quick test_cache_counters;
+          Alcotest.test_case "probe side-effect free" `Quick test_cache_probe_no_side_effect;
+        ] );
+      ( "hierarchy",
+        [
+          Alcotest.test_case "data latencies" `Quick test_hierarchy_data_latencies;
+          Alcotest.test_case "l2 hit" `Quick test_hierarchy_l2_hit;
+          Alcotest.test_case "inst path" `Quick test_hierarchy_inst_path;
+          Alcotest.test_case "bank contention" `Quick test_bank_contention;
+          Alcotest.test_case "stats accumulate" `Quick test_stats_accumulate;
+        ] );
+    ]

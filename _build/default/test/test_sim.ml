@@ -1,0 +1,286 @@
+(* Simulator behaviour tests: pipeline sanity, misprediction recovery, the
+   wish-branch no-flush guarantees, oracle idealization knobs, and the
+   select-µop mechanism. *)
+
+open Wish_isa
+open Wish_sim
+
+let check = Alcotest.check
+
+let simulate ?(config = Config.default) ?data ?(mem_words = 1 lsl 14) items =
+  let program = Program.create ~mem_words ?data (Asm.assemble items) in
+  Runner.simulate ~config program
+
+let stat (s : Runner.summary) key = Wish_util.Stats.get s.stats key
+
+(* A counted loop with a hard-to-predict hammock inside: the workhorse for
+   recovery-behaviour tests. The hammock condition comes from a data table
+   so its predictability is controlled by the data generator. *)
+let hammock_kernel ~wish ~iters =
+  let hammock_branch ~guard l = if wish then Asm.wish_jump ~guard l else Asm.br ~guard l in
+  Asm.[
+    movi 3 0;
+    movi 4 0;
+    label "loop";
+    alu Inst.And 6 3 (Inst.Imm 1023);
+    alu Inst.Add 6 6 (Inst.Imm 64);
+    load 7 6 0;
+    cmp Inst.Eq ~dst_false:2 1 7 (Inst.Imm 1);
+    hammock_branch ~guard:1 "then_";
+    alu ~guard:2 Inst.Add 4 4 (Inst.Reg 7);
+    alu ~guard:2 Inst.Xor 4 4 (Inst.Imm 3);
+    alu ~guard:2 Inst.And 4 4 (Inst.Imm 65535);
+    (if wish then Asm.wish_join ~guard:2 "join" else Asm.jmp "join");
+    label "then_";
+    alu ~guard:1 Inst.Sub 4 4 (Inst.Imm 7);
+    alu ~guard:1 Inst.Xor 4 4 (Inst.Imm 11);
+    alu ~guard:1 Inst.And 4 4 (Inst.Imm 65535);
+    label "join";
+    store 4 0 5;
+    alu Inst.Add 3 3 (Inst.Imm 1);
+    cmp Inst.Lt 1 3 (Inst.Imm iters);
+    br ~guard:1 "loop";
+    halt;
+  ]
+
+let coin_data =
+  let rng = Wish_util.Rng.create 31 in
+  List.init 1024 (fun k -> (64 + k, Wish_util.Rng.int rng 2))
+
+(* Basic sanity ---------------------------------------------------------- *)
+
+let test_terminates_and_counts () =
+  let s = simulate Asm.[ movi 3 1; alu Inst.Add 3 3 (Inst.Imm 1); store 3 0 0; halt ] in
+  check Alcotest.int "all uops retired" 4 s.retired_uops;
+  check Alcotest.int "dynamic insts" 4 s.dynamic_insts;
+  Alcotest.(check bool) "cycles >= depth" true (s.cycles >= Config.default.frontend_depth)
+
+let test_deterministic () =
+  let run () = (simulate ~data:coin_data (hammock_kernel ~wish:false ~iters:300)).cycles in
+  check Alcotest.int "same cycles twice" (run ()) (run ())
+
+let test_upc_bounded_by_width () =
+  let s = simulate ~data:coin_data (hammock_kernel ~wish:false ~iters:300) in
+  Alcotest.(check bool) "uPC <= fetch width" true (s.upc <= float_of_int Config.default.fetch_width)
+
+let test_nops_eliminated () =
+  let s = simulate Asm.[ nop; nop; movi 3 1; nop; halt ] in
+  check Alcotest.int "nops dropped at translation" 2 s.retired_uops;
+  check Alcotest.int "counted" 3 (stat s "nops_eliminated")
+
+(* Misprediction recovery -------------------------------------------------- *)
+
+let test_coin_branch_mispredicts_and_flushes () =
+  let s = simulate ~data:coin_data (hammock_kernel ~wish:false ~iters:500) in
+  Alcotest.(check bool) "many mispredicts" true (s.mispredicts > 100);
+  check Alcotest.int "every mispredict flushes (no wish hw in play)" s.mispredicts s.flushes
+
+let test_min_misprediction_penalty () =
+  (* Cycles must grow by at least ~frontend_depth per flush. *)
+  let easy =
+    simulate ~data:(List.init 1024 (fun k -> (64 + k, 0))) (hammock_kernel ~wish:false ~iters:500)
+  in
+  let hard = simulate ~data:coin_data (hammock_kernel ~wish:false ~iters:500) in
+  let extra_flushes = hard.flushes - easy.flushes in
+  Alcotest.(check bool) "penalty >= depth" true
+    (hard.cycles - easy.cycles >= extra_flushes * Config.default.frontend_depth / 2)
+
+let test_perfect_bp_never_flushes () =
+  let config = { Config.default with knobs = { Config.no_knobs with perfect_bp = true } } in
+  let s = simulate ~config ~data:coin_data (hammock_kernel ~wish:false ~iters:500) in
+  check Alcotest.int "no flushes" 0 s.flushes;
+  check Alcotest.int "no mispredicts" 0 s.mispredicts
+
+let test_deeper_pipeline_slower_on_hard_branches () =
+  let run stages =
+    let config = Config.with_pipeline_stages Config.default stages in
+    (simulate ~config ~data:coin_data (hammock_kernel ~wish:false ~iters:500)).cycles
+  in
+  Alcotest.(check bool) "10 <= 20 <= 30 stages" true (run 10 <= run 20 && run 20 <= run 30)
+
+let test_bigger_window_not_slower () =
+  let run rob =
+    let config = Config.with_rob Config.default rob in
+    (simulate ~config ~data:coin_data (hammock_kernel ~wish:false ~iters:500)).cycles
+  in
+  Alcotest.(check bool) "512 <= 128 window cycles" true (run 512 <= run 128)
+
+(* Wish branch semantics ----------------------------------------------------- *)
+
+let test_low_conf_wish_never_flushes_jumps () =
+  (* Force permanent low confidence with an impossible threshold: every
+     wish jump/join executes predicated, so the hammock causes no flushes
+     (the loop branch is highly predictable and doesn't either). *)
+  let config =
+    { Config.default with conf = { Config.default.conf with Wish_bpred.Confidence.threshold = 15 } }
+  in
+  let s = simulate ~config ~data:coin_data (hammock_kernel ~wish:true ~iters:500) in
+  Alcotest.(check bool) "wish branches ran low-confidence" true (stat s "wish_low_correct" + stat s "wish_low_mispred" > 900);
+  Alcotest.(check bool) "hammock mispredicts don't flush" true (s.flushes < 25);
+  Alcotest.(check bool) "yet mispredictions happened" true (stat s "wish_low_mispred" > 100)
+
+let test_wish_beats_normal_on_coin_branch () =
+  let n = simulate ~data:coin_data (hammock_kernel ~wish:false ~iters:800) in
+  let w = simulate ~data:coin_data (hammock_kernel ~wish:true ~iters:800) in
+  Alcotest.(check bool) "wish faster on 50/50 branch" true (w.cycles < n.cycles)
+
+let test_wish_hardware_off_behaves_like_normal () =
+  let config = { Config.default with wish_hardware = false } in
+  let s = simulate ~config ~data:coin_data (hammock_kernel ~wish:true ~iters:500) in
+  check Alcotest.int "no wish accounting" 0 (stat s "wish_retired");
+  Alcotest.(check bool) "mispredicts flush as usual" true (s.flushes > 100)
+
+let test_perfect_conf_dominates_real () =
+  let perfect =
+    { Config.default with knobs = { Config.no_knobs with perfect_conf = true } }
+  in
+  let r = simulate ~data:coin_data (hammock_kernel ~wish:true ~iters:800) in
+  let p = simulate ~config:perfect ~data:coin_data (hammock_kernel ~wish:true ~iters:800) in
+  Alcotest.(check bool) "oracle confidence at least as good" true (p.cycles <= r.cycles + 50);
+  check Alcotest.int "high-confidence never mispredicted" 0 (stat p "wish_high_mispred")
+
+(* Wish loops ------------------------------------------------------------------ *)
+
+(* Variable-trip do-while loop (Figure 4b shape). *)
+let wish_loop_kernel ~wish ~iters =
+  let back_branch ~guard l = if wish then Asm.wish_loop ~guard l else Asm.br ~guard l in
+  Asm.[
+    movi 3 0;
+    movi 4 0;
+    label "outer";
+    alu Inst.And 6 3 (Inst.Imm 1023);
+    alu Inst.Add 6 6 (Inst.Imm 64);
+    load 7 6 0; (* k = table value in 0..6, +1 below *)
+    alu Inst.Add 7 7 (Inst.Imm 1);
+    pset 1 true;
+    label "body";
+    alu ~guard:1 Inst.Add 4 4 (Inst.Reg 7);
+    alu ~guard:1 Inst.And 4 4 (Inst.Imm 65535);
+    alu ~guard:1 Inst.Sub 7 7 (Inst.Imm 1);
+    cmp ~guard:1 Inst.Gt 1 7 (Inst.Imm 0);
+    back_branch ~guard:1 "body";
+    store 4 0 5;
+    alu Inst.Add 3 3 (Inst.Imm 1);
+    cmp Inst.Lt 1 3 (Inst.Imm iters);
+    br ~guard:1 "outer";
+    halt;
+  ]
+
+let trip_data =
+  let rng = Wish_util.Rng.create 77 in
+  List.init 1024 (fun k -> (64 + k, Wish_util.Rng.int rng 7))
+
+let test_wish_loop_classification () =
+  let s = simulate ~data:trip_data (wish_loop_kernel ~wish:true ~iters:600) in
+  let late = stat s "loop_low_late"
+  and early = stat s "loop_low_early"
+  and noexit = stat s "loop_low_noexit" in
+  Alcotest.(check bool) "late exits happen" true (late > 50);
+  Alcotest.(check bool) "late exits dominate flushing cases" true (late > early + noexit);
+  Alcotest.(check bool) "phantom NOPs retired" true (s.retired_phantom > 100)
+
+let test_wish_loop_late_exit_no_flush () =
+  let n = simulate ~data:trip_data (wish_loop_kernel ~wish:false ~iters:600) in
+  let w = simulate ~data:trip_data (wish_loop_kernel ~wish:true ~iters:600) in
+  Alcotest.(check bool) "fewer flushes with wish loop" true (w.flushes < n.flushes / 2);
+  Alcotest.(check bool) "faster too" true (w.cycles < n.cycles)
+
+let test_wish_loop_equivalent_retirement () =
+  (* Phantom µops retire but never change architectural counts. *)
+  let s = simulate ~data:trip_data (wish_loop_kernel ~wish:true ~iters:200) in
+  check Alcotest.int "correct-path retirement matches trace" s.dynamic_insts s.retired_uops
+
+(* Oracle knobs ------------------------------------------------------------------ *)
+
+(* Fully predicated hammock (BASE-MAX shape, no branches in the body). *)
+let predicated_kernel ~iters =
+  Asm.[
+    movi 3 0;
+    movi 4 0;
+    label "loop";
+    alu Inst.And 6 3 (Inst.Imm 1023);
+    alu Inst.Add 6 6 (Inst.Imm 64);
+    load 7 6 0;
+    cmp Inst.Eq ~dst_false:2 1 7 (Inst.Imm 1);
+    alu ~guard:1 Inst.Sub 4 4 (Inst.Imm 7);
+    alu ~guard:1 Inst.Xor 4 4 (Inst.Imm 11);
+    alu ~guard:2 Inst.Add 4 4 (Inst.Reg 7);
+    alu ~guard:2 Inst.Xor 4 4 (Inst.Imm 3);
+    alu Inst.And 4 4 (Inst.Imm 65535);
+    store 4 0 5;
+    alu Inst.Add 3 3 (Inst.Imm 1);
+    cmp Inst.Lt 1 3 (Inst.Imm iters);
+    br ~guard:1 "loop";
+    halt;
+  ]
+
+let test_no_fetch_drops_false_uops () =
+  let base = simulate ~data:coin_data (predicated_kernel ~iters:400) in
+  let config = { Config.default with knobs = { Config.no_knobs with no_fetch = true } } in
+  let ideal = simulate ~config ~data:coin_data (predicated_kernel ~iters:400) in
+  Alcotest.(check bool) "uops dropped" true (stat ideal "nofetch_dropped" > 700);
+  Alcotest.(check bool) "fewer retired" true (ideal.retired_uops < base.retired_uops);
+  Alcotest.(check bool) "not slower" true (ideal.cycles <= base.cycles)
+
+let test_no_depend_not_slower () =
+  let base = simulate ~data:coin_data (predicated_kernel ~iters:400) in
+  let config = { Config.default with knobs = { Config.no_knobs with no_depend = true } } in
+  let ideal = simulate ~config ~data:coin_data (predicated_kernel ~iters:400) in
+  Alcotest.(check bool) "removing dependencies cannot hurt" true (ideal.cycles <= base.cycles)
+
+(* Select-µop mechanism ------------------------------------------------------------ *)
+
+let test_select_uop_expands () =
+  let c_style = simulate ~data:coin_data (predicated_kernel ~iters:300) in
+  let config = { Config.default with mech = Config.Select_uop } in
+  let select = simulate ~config ~data:coin_data (predicated_kernel ~iters:300) in
+  Alcotest.(check bool) "select retires more uops" true
+    (select.retired_uops > c_style.retired_uops);
+  check Alcotest.int "same architectural work" c_style.dynamic_insts select.dynamic_insts
+
+(* I-cache ---------------------------------------------------------------------------- *)
+
+let test_icache_cold_stalls_counted () =
+  let s = simulate Asm.[ movi 3 1; halt ] in
+  Alcotest.(check bool) "first line fetch missed" true (s.mem.l1i_misses >= 1)
+
+let () =
+  Alcotest.run "wish_sim"
+    [
+      ( "sanity",
+        [
+          Alcotest.test_case "terminates and counts" `Quick test_terminates_and_counts;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "uPC bounded" `Quick test_upc_bounded_by_width;
+          Alcotest.test_case "NOP elimination" `Quick test_nops_eliminated;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "coin branch flushes" `Quick test_coin_branch_mispredicts_and_flushes;
+          Alcotest.test_case "min penalty" `Quick test_min_misprediction_penalty;
+          Alcotest.test_case "perfect bp" `Quick test_perfect_bp_never_flushes;
+          Alcotest.test_case "pipeline depth monotone" `Quick
+            test_deeper_pipeline_slower_on_hard_branches;
+          Alcotest.test_case "window monotone" `Quick test_bigger_window_not_slower;
+        ] );
+      ( "wish",
+        [
+          Alcotest.test_case "low-conf no flush" `Quick test_low_conf_wish_never_flushes_jumps;
+          Alcotest.test_case "beats normal on coin" `Quick test_wish_beats_normal_on_coin_branch;
+          Alcotest.test_case "hardware off" `Quick test_wish_hardware_off_behaves_like_normal;
+          Alcotest.test_case "perfect confidence" `Quick test_perfect_conf_dominates_real;
+        ] );
+      ( "wish_loop",
+        [
+          Alcotest.test_case "classification" `Quick test_wish_loop_classification;
+          Alcotest.test_case "late-exit no flush" `Quick test_wish_loop_late_exit_no_flush;
+          Alcotest.test_case "retirement equivalence" `Quick test_wish_loop_equivalent_retirement;
+        ] );
+      ( "knobs",
+        [
+          Alcotest.test_case "no-fetch" `Quick test_no_fetch_drops_false_uops;
+          Alcotest.test_case "no-depend" `Quick test_no_depend_not_slower;
+        ] );
+      ("select", [ Alcotest.test_case "select-uop expands" `Quick test_select_uop_expands ]);
+      ("icache", [ Alcotest.test_case "cold stall" `Quick test_icache_cold_stalls_counted ]);
+    ]

@@ -1,0 +1,266 @@
+(* Unit tests for the simulator's internal components: the oracle cursor
+   (matching and skip rules), the wish-branch front-end state machine, and
+   the register alias table. *)
+
+open Wish_isa
+open Wish_sim
+
+let check = Alcotest.check
+
+(* Oracle ----------------------------------------------------------------- *)
+
+(* Figure 3c hammock with a spec-marked temp computation in the jumped-over
+   block, plus a tail. Condition true: block B (pc 3-5) is skippable. *)
+let hammock_program =
+  Program.create ~mem_words:64
+    (Asm.assemble
+       Asm.[
+         movi 3 1; (* 0 *)
+         cmp Inst.Eq ~dst_false:2 1 3 (Inst.Imm 1); (* 1 *)
+         wish_jump ~guard:1 "then_"; (* 2 *)
+         movi ~spec:true 10 0; (* 3: speculated temp *)
+         alu ~guard:2 Inst.Add 4 4 (Inst.Reg 10); (* 4 *)
+         wish_join ~guard:2 "join"; (* 5 *)
+         label "then_";
+         movi ~guard:1 4 7; (* 6 *)
+         label "join";
+         store 4 0 9; (* 7 *)
+         halt; (* 8 *)
+       ])
+
+let make_oracle () =
+  let trace, _ = Wish_emu.Trace.generate hammock_program in
+  Oracle.create (Program.code hammock_program) trace
+
+let test_oracle_sequential_match () =
+  let o = make_oracle () in
+  (match Oracle.consume o ~pc:0 with
+  | Some e ->
+    Alcotest.(check bool) "guard true" true e.Oracle.guard_true;
+    check Alcotest.int "next pc" 1 e.next_pc
+  | None -> Alcotest.fail "expected match");
+  check Alcotest.int "cursor advanced" 1 (Oracle.cursor o)
+
+let test_oracle_skips_wish_region () =
+  let o = make_oracle () in
+  ignore (Oracle.consume o ~pc:0);
+  ignore (Oracle.consume o ~pc:1);
+  (* The wish jump entry: actual direction taken (guard true). *)
+  (match Oracle.consume o ~pc:2 with
+  | Some e -> Alcotest.(check bool) "jump direction" true e.Oracle.taken
+  | None -> Alcotest.fail "jump entry");
+  (* Predicted-taken fetch goes straight to pc 6, skipping the spec temp
+     (pc 3, guard-true but spec), the false-guarded add (4) and the
+     false-guarded join (5). *)
+  (match Oracle.consume o ~pc:6 with
+  | Some e -> Alcotest.(check bool) "then side is real work" true e.Oracle.guard_true
+  | None -> Alcotest.fail "skip-match failed");
+  (match Oracle.consume o ~pc:7 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "tail after skip")
+
+let test_oracle_divergence_no_side_effect () =
+  let o = make_oracle () in
+  ignore (Oracle.consume o ~pc:0);
+  let cursor = Oracle.cursor o in
+  Alcotest.(check bool) "bogus pc diverges" true (Oracle.consume o ~pc:7 = None);
+  check Alcotest.int "cursor unchanged" cursor (Oracle.cursor o)
+
+let test_oracle_restore () =
+  let o = make_oracle () in
+  ignore (Oracle.consume o ~pc:0);
+  ignore (Oracle.consume o ~pc:1);
+  let saved = Oracle.cursor o in
+  ignore (Oracle.consume o ~pc:2);
+  Oracle.restore o saved;
+  match Oracle.consume o ~pc:2 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "replay after restore"
+
+let test_oracle_exhaustion () =
+  let o = make_oracle () in
+  let rec drain pc =
+    match Oracle.consume o ~pc with
+    | Some e when not (Oracle.exhausted o) -> drain e.Oracle.next_pc
+    | _ -> ()
+  in
+  drain 0;
+  Alcotest.(check bool) "exhausted after halt" true (Oracle.exhausted o);
+  check Alcotest.(option int) "peek at end" None (Oracle.peek_pc o)
+
+(* Wish FSM ------------------------------------------------------------------ *)
+
+let test_fsm_high_confidence_forwards () =
+  let fsm = Wish_fsm.create () in
+  (* Teach the complement relation as the decoder would. *)
+  Wish_fsm.on_decode_writes fsm [ 1; 2 ] ~complement_pair:(Some (1, 2));
+  let dir =
+    Wish_fsm.on_wish_branch fsm ~kind:Inst.Wish_jump ~pc:10 ~target:20 ~conf_high:true
+      ~predictor_dir:true ~guard:1
+  in
+  Alcotest.(check bool) "follows predictor" true dir;
+  Alcotest.(check bool) "mode high" true (Wish_fsm.mode fsm = Uop.High_conf);
+  check Alcotest.(option bool) "guard forwarded TRUE" (Some true) (Wish_fsm.forwarded_value fsm 1);
+  check Alcotest.(option bool) "complement forwarded FALSE" (Some false)
+    (Wish_fsm.forwarded_value fsm 2)
+
+let test_fsm_low_confidence_forces_not_taken () =
+  let fsm = Wish_fsm.create () in
+  let dir =
+    Wish_fsm.on_wish_branch fsm ~kind:Inst.Wish_jump ~pc:10 ~target:20 ~conf_high:false
+      ~predictor_dir:true ~guard:1
+  in
+  Alcotest.(check bool) "forced not-taken" false dir;
+  Alcotest.(check bool) "mode low" true (Wish_fsm.mode fsm = Uop.Low_conf);
+  check Alcotest.(option bool) "no forwarding in low mode" None (Wish_fsm.forwarded_value fsm 1);
+  (* A join inside the region is forced not-taken regardless of its own
+     estimate (Table 1). *)
+  let join_dir =
+    Wish_fsm.on_wish_branch fsm ~kind:Inst.Wish_join ~pc:15 ~target:25 ~conf_high:true
+      ~predictor_dir:true ~guard:2
+  in
+  Alcotest.(check bool) "join forced not-taken" false join_dir
+
+let test_fsm_target_fetched_exits_low_mode () =
+  let fsm = Wish_fsm.create () in
+  ignore
+    (Wish_fsm.on_wish_branch fsm ~kind:Inst.Wish_jump ~pc:10 ~target:20 ~conf_high:false
+       ~predictor_dir:true ~guard:1);
+  Wish_fsm.on_fetch_pc fsm ~pc:19;
+  Alcotest.(check bool) "still low before target" true (Wish_fsm.mode fsm = Uop.Low_conf);
+  Wish_fsm.on_fetch_pc fsm ~pc:20;
+  Alcotest.(check bool) "normal at target" true (Wish_fsm.mode fsm = Uop.Normal)
+
+let test_fsm_decode_write_invalidates_forwarding () =
+  let fsm = Wish_fsm.create () in
+  ignore
+    (Wish_fsm.on_wish_branch fsm ~kind:Inst.Wish_loop ~pc:10 ~target:5 ~conf_high:true
+       ~predictor_dir:true ~guard:1);
+  Alcotest.(check bool) "forwarded" true (Wish_fsm.forwarded_value fsm 1 <> None);
+  Wish_fsm.on_decode_writes fsm [ 1 ] ~complement_pair:None;
+  check Alcotest.(option bool) "invalidated by write" None (Wish_fsm.forwarded_value fsm 1)
+
+let test_fsm_loop_generations () =
+  let fsm = Wish_fsm.create () in
+  check Alcotest.int "initial generation" 0 (Wish_fsm.loop_generation fsm ~pc:10);
+  Wish_fsm.record_loop_prediction fsm ~pc:10 ~dir:true;
+  Wish_fsm.record_loop_prediction fsm ~pc:10 ~dir:true;
+  check Alcotest.int "taken keeps generation" 0 (Wish_fsm.loop_generation fsm ~pc:10);
+  Wish_fsm.record_loop_prediction fsm ~pc:10 ~dir:false;
+  check Alcotest.int "exit bumps generation" 1 (Wish_fsm.loop_generation fsm ~pc:10);
+  check
+    Alcotest.(option (pair int bool))
+    "last prediction recorded" (Some (1, false))
+    (Wish_fsm.last_loop_prediction fsm ~pc:10)
+
+let test_fsm_loop_exit_leaves_low_mode () =
+  let fsm = Wish_fsm.create () in
+  ignore
+    (Wish_fsm.on_wish_branch fsm ~kind:Inst.Wish_loop ~pc:10 ~target:5 ~conf_high:false
+       ~predictor_dir:true ~guard:1);
+  Alcotest.(check bool) "low while looping" true (Wish_fsm.mode fsm = Uop.Low_conf);
+  Wish_fsm.record_loop_prediction fsm ~pc:10 ~dir:false;
+  Alcotest.(check bool) "normal after predicted exit" true (Wish_fsm.mode fsm = Uop.Normal)
+
+let test_fsm_reset () =
+  let fsm = Wish_fsm.create () in
+  ignore
+    (Wish_fsm.on_wish_branch fsm ~kind:Inst.Wish_jump ~pc:10 ~target:20 ~conf_high:true
+       ~predictor_dir:true ~guard:1);
+  Wish_fsm.record_loop_prediction fsm ~pc:11 ~dir:true;
+  Wish_fsm.reset fsm;
+  Alcotest.(check bool) "mode normal" true (Wish_fsm.mode fsm = Uop.Normal);
+  check Alcotest.(option bool) "forwarding cleared" None (Wish_fsm.forwarded_value fsm 1);
+  check Alcotest.(option (pair int bool)) "loop buffer cleared" None
+    (Wish_fsm.last_loop_prediction fsm ~pc:11)
+
+(* RAT ------------------------------------------------------------------------ *)
+
+let test_rat_producers () =
+  let rat = Rat.create () in
+  check Alcotest.int "unmapped is ready" (-1) (Rat.int_producer rat 5);
+  Rat.set_int rat 5 42;
+  Rat.set_pred rat 3 43;
+  check Alcotest.int "int producer" 42 (Rat.int_producer rat 5);
+  check Alcotest.int "pred producer" 43 (Rat.pred_producer rat 3);
+  (* r0/p0 writes are discarded. *)
+  Rat.set_int rat 0 99;
+  Rat.set_pred rat 0 99;
+  check Alcotest.int "r0 never mapped" (-1) (Rat.int_producer rat 0);
+  check Alcotest.int "p0 never mapped" (-1) (Rat.pred_producer rat 0)
+
+let test_rat_snapshot_restore () =
+  let rat = Rat.create () in
+  Rat.set_int rat 5 1;
+  let snap = Rat.snapshot rat in
+  Rat.set_int rat 5 2;
+  Rat.set_int rat 6 3;
+  Rat.restore rat snap;
+  check Alcotest.int "r5 restored" 1 (Rat.int_producer rat 5);
+  check Alcotest.int "r6 restored" (-1) (Rat.int_producer rat 6)
+
+(* Uop ----------------------------------------------------------------------- *)
+
+let branch_rec ~predicted ~actual ~is_return ~target ~next : Uop.branch_rec =
+  {
+    Uop.predicted_taken = predicted;
+    predicted_target = target;
+    actual_taken = actual;
+    actual_next = next;
+    lookup = None;
+    snapshot = None;
+    ras_top = 0;
+    cursor_next = 0;
+    fetch_mode = Uop.Normal;
+    conf_high = None;
+    conf_history = 0;
+    wish_kind = None;
+    is_return;
+    loop_gen = 0;
+    rat_ckpt = None;
+    resolved = false;
+    loop_class = Uop.Lc_none;
+  }
+
+let test_uop_mispredicted () =
+  Alcotest.(check bool) "direction wrong" true
+    (Uop.mispredicted (branch_rec ~predicted:true ~actual:false ~is_return:false ~target:5 ~next:1));
+  Alcotest.(check bool) "direction right" false
+    (Uop.mispredicted (branch_rec ~predicted:true ~actual:true ~is_return:false ~target:5 ~next:5));
+  Alcotest.(check bool) "return target wrong" true
+    (Uop.mispredicted (branch_rec ~predicted:true ~actual:true ~is_return:true ~target:5 ~next:9));
+  Alcotest.(check bool) "return target right" false
+    (Uop.mispredicted (branch_rec ~predicted:true ~actual:true ~is_return:true ~target:9 ~next:9))
+
+let () =
+  Alcotest.run "wish_sim_units"
+    [
+      ( "oracle",
+        [
+          Alcotest.test_case "sequential match" `Quick test_oracle_sequential_match;
+          Alcotest.test_case "skips wish region" `Quick test_oracle_skips_wish_region;
+          Alcotest.test_case "divergence side-effect free" `Quick
+            test_oracle_divergence_no_side_effect;
+          Alcotest.test_case "restore" `Quick test_oracle_restore;
+          Alcotest.test_case "exhaustion" `Quick test_oracle_exhaustion;
+        ] );
+      ( "wish_fsm",
+        [
+          Alcotest.test_case "high confidence forwards" `Quick test_fsm_high_confidence_forwards;
+          Alcotest.test_case "low confidence forces NT" `Quick
+            test_fsm_low_confidence_forces_not_taken;
+          Alcotest.test_case "target fetched exits low" `Quick
+            test_fsm_target_fetched_exits_low_mode;
+          Alcotest.test_case "decode write invalidates" `Quick
+            test_fsm_decode_write_invalidates_forwarding;
+          Alcotest.test_case "loop generations" `Quick test_fsm_loop_generations;
+          Alcotest.test_case "loop exit leaves low" `Quick test_fsm_loop_exit_leaves_low_mode;
+          Alcotest.test_case "reset" `Quick test_fsm_reset;
+        ] );
+      ( "rat",
+        [
+          Alcotest.test_case "producers" `Quick test_rat_producers;
+          Alcotest.test_case "snapshot/restore" `Quick test_rat_snapshot_restore;
+        ] );
+      ("uop", [ Alcotest.test_case "mispredicted" `Quick test_uop_mispredicted ]);
+    ]

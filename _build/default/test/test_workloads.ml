@@ -1,0 +1,171 @@
+(* Workload tests: each benchmark compiles into five architecturally
+   equivalent binaries on every input, runs deterministically, and shows
+   the branch behaviour its paper counterpart is meant to mimic. *)
+
+open Wish_workloads
+
+let check = Alcotest.check
+
+let scale = 1
+
+let compile (b : Bench.t) =
+  Wish_compiler.Compiler.compile_all ~mem_words:b.mem_words ~name:b.name
+    ~profile_data:(Bench.profile_data b) b.ast
+
+(* Compile everything once; the equivalence sweep reuses these. *)
+let all = Workloads.all ~scale
+let compiled = lazy (List.map (fun b -> (b, compile b)) all)
+
+let outcome p = (Wish_emu.State.outcome (Wish_emu.Exec.run p)).Wish_emu.State.memory_checksum
+
+let test_catalog () =
+  check Alcotest.int "nine benchmarks" 9 (List.length all);
+  check
+    Alcotest.(list string)
+    "paper's Table 4 subset"
+    [ "gzip"; "vpr"; "mcf"; "crafty"; "parser"; "gap"; "vortex"; "bzip2"; "twolf" ]
+    (List.map (fun (b : Bench.t) -> b.name) all);
+  List.iter
+    (fun (b : Bench.t) ->
+      check Alcotest.int (b.name ^ " has three inputs") 3 (List.length b.inputs);
+      Alcotest.(check bool)
+        (b.name ^ " profiles on a real input")
+        true
+        (List.exists (fun (i : Bench.input) -> i.label = b.profile_input) b.inputs))
+    all
+
+let test_find () =
+  let b = Workloads.find ~scale "mcf" in
+  check Alcotest.string "found" "mcf" b.name;
+  Alcotest.check_raises "unknown"
+    (Invalid_argument
+       "unknown workload nope (know: gzip, vpr, mcf, crafty, parser, gap, vortex, bzip2, twolf)")
+    (fun () -> ignore (Workloads.find ~scale "nope"))
+
+(* The big architectural sweep: 9 benchmarks x 3 inputs x 5 binaries. *)
+let test_equivalence ((b : Bench.t), bins) () =
+  List.iter
+    (fun (input : Bench.input) ->
+      let reference = outcome (Bench.program_for b bins.Wish_compiler.Compiler.normal input.label) in
+      List.iter
+        (fun kind ->
+          let p = Bench.program_for b (Wish_compiler.Compiler.binary bins kind) input.label in
+          check Alcotest.int
+            (Printf.sprintf "%s/%s/%s" b.name (Wish_compiler.Policy.kind_name kind) input.label)
+            reference (outcome p))
+        Wish_compiler.Compiler.all_kinds)
+    b.inputs
+
+let test_wish_binaries_have_wish_branches () =
+  List.iter
+    (fun ((b : Bench.t), bins) ->
+      let wish_code = Wish_isa.Program.code bins.Wish_compiler.Compiler.wish_jjl in
+      Alcotest.(check bool)
+        (b.name ^ " wish-jjl has wish branches")
+        true
+        (Wish_isa.Code.static_wish_branches wish_code > 0);
+      Alcotest.(check bool)
+        (b.name ^ " normal has none")
+        true
+        (Wish_isa.Code.static_wish_branches (Wish_isa.Program.code bins.normal) = 0))
+    (Lazy.force compiled)
+
+(* Behavioural bands: the qualitative branch profile each benchmark was
+   designed for (normal binary, input A). Simulation-based, so a handful
+   of benchmarks only. *)
+let misp_per_kuop name =
+  let b = Workloads.find ~scale name in
+  let bins = compile b in
+  let p = Bench.program_for b bins.normal "A" in
+  let s = Wish_sim.Runner.simulate p in
+  1000.0 *. float_of_int s.mispredicts /. float_of_int s.retired_uops
+
+let test_predictability_bands () =
+  let easy = misp_per_kuop "vortex" and hard = misp_per_kuop "bzip2" in
+  Alcotest.(check bool) "vortex predictable (paper: 0.8/1K)" true (easy < 8.0);
+  Alcotest.(check bool) "bzip2 hard (paper: 8.6/1K)" true (hard > 10.0);
+  Alcotest.(check bool) "ordering" true (easy < hard)
+
+let test_mcf_predication_pathology () =
+  (* The headline mcf behaviour (Figure 10): aggressive predication is far
+     slower than branches; wish hardware recovers. *)
+  let b = Workloads.find ~scale "mcf" in
+  let bins = compile b in
+  let run bin = (Wish_sim.Runner.simulate (Bench.program_for b bin "A")).Wish_sim.Runner.cycles in
+  let normal = run bins.normal and base_max = run bins.base_max and wish = run bins.wish_jj in
+  Alcotest.(check bool) "BASE-MAX much slower" true
+    (float_of_int base_max > 1.5 *. float_of_int normal);
+  Alcotest.(check bool) "wish rescues" true (float_of_int wish < 1.2 *. float_of_int normal)
+
+let test_input_changes_behaviour () =
+  (* gzip input A (incompressible) must mispredict more than input B. *)
+  let b = Workloads.find ~scale "gzip" in
+  let bins = compile b in
+  let misp label =
+    let s = Wish_sim.Runner.simulate (Bench.program_for b bins.normal label) in
+    1000.0 *. float_of_int s.mispredicts /. float_of_int s.retired_uops
+  in
+  Alcotest.(check bool) "A harder than B" true (misp "A" > misp "B")
+
+let test_retirement_matches_trace () =
+  (* Oracle-consistency invariant: each correct-path µop the simulator
+     retires consumes exactly one trace entry. Binaries without wish
+     branches can never skip entries, so retirement equals the trace
+     length; wish binaries retire at most that many (high-confidence taken
+     wish jumps legitimately skip the predicated region's entries). *)
+  List.iter
+    (fun name ->
+      let b = Workloads.find ~scale name in
+      let bins = compile b in
+      List.iter
+        (fun kind ->
+          let p = Bench.program_for b (Wish_compiler.Compiler.binary bins kind) "A" in
+          let s = Wish_sim.Runner.simulate p in
+          let label k = Printf.sprintf "%s/%s %s" name (Wish_compiler.Policy.kind_name kind) k in
+          match kind with
+          | Wish_compiler.Policy.Normal | Wish_compiler.Policy.Base_def
+          | Wish_compiler.Policy.Base_max ->
+            check Alcotest.int (label "retired = trace") s.dynamic_insts s.retired_uops
+          | Wish_compiler.Policy.Wish_jj | Wish_compiler.Policy.Wish_jjl ->
+            Alcotest.(check bool) (label "retired <= trace") true
+              (s.retired_uops <= s.dynamic_insts);
+            Alcotest.(check bool)
+              (label "retired within skip bound") true
+              (s.retired_uops > s.dynamic_insts / 2))
+        Wish_compiler.Compiler.all_kinds)
+    [ "gzip"; "vortex" ]
+
+let test_scale_parameter () =
+  let small = Workloads.find ~scale:1 "gap" and big = Workloads.find ~scale:2 "gap" in
+  let insts (b : Bench.t) =
+    let bins = compile b in
+    (Wish_emu.Exec.run (Bench.program_for b bins.normal "A")).Wish_emu.State.retired
+  in
+  Alcotest.(check bool) "scale grows the run" true (insts big > insts small * 3 / 2)
+
+let () =
+  let equivalence_cases =
+    List.map
+      (fun ((b : Bench.t), bins) ->
+        Alcotest.test_case (b.name ^ " five binaries equivalent on all inputs") `Slow
+          (test_equivalence (b, bins)))
+      (Lazy.force compiled)
+  in
+  Alcotest.run "wish_workloads"
+    [
+      ( "catalog",
+        [
+          Alcotest.test_case "nine benchmarks" `Quick test_catalog;
+          Alcotest.test_case "find" `Quick test_find;
+          Alcotest.test_case "wish branches present" `Quick test_wish_binaries_have_wish_branches;
+        ] );
+      ("equivalence", equivalence_cases);
+      ( "behaviour",
+        [
+          Alcotest.test_case "predictability bands" `Slow test_predictability_bands;
+          Alcotest.test_case "mcf pathology" `Slow test_mcf_predication_pathology;
+          Alcotest.test_case "input sensitivity" `Slow test_input_changes_behaviour;
+          Alcotest.test_case "retirement matches trace" `Slow test_retirement_matches_trace;
+          Alcotest.test_case "scale parameter" `Slow test_scale_parameter;
+        ] );
+    ]
