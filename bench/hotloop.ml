@@ -1,0 +1,55 @@
+(* CPU-time harness for A/B-ing the simulator hot path: runs the same tiny
+   kernels as the Bechamel fig1/fig10/fig14 micro-benchmarks in a
+   fixed-count loop and reports ns/run measured with [Sys.time] (process
+   CPU time), which stays comparable when other processes pollute the wall
+   clock. Usage: hotloop.exe [ITERS] (default 300). *)
+
+let tiny_hammock ~wish =
+  let open Wish_isa in
+  let hb ~guard l = if wish then Asm.wish_jump ~guard l else Asm.br ~guard l in
+  let items =
+    Asm.[
+      movi 3 0;
+      movi 4 0;
+      label "loop";
+      alu Inst.And 6 3 (Inst.Imm 255);
+      load 7 6 64;
+      cmp Inst.Eq ~dst_false:2 1 7 (Inst.Imm 1);
+      hb ~guard:1 "then_";
+      alu ~guard:2 Inst.Add 4 4 (Inst.Reg 7);
+      alu ~guard:2 Inst.Xor 4 4 (Inst.Imm 3);
+      (if wish then Asm.wish_join ~guard:2 "join" else Asm.jmp "join");
+      label "then_";
+      alu ~guard:1 Inst.Sub 4 4 (Inst.Imm 7);
+      alu ~guard:1 Inst.Xor 4 4 (Inst.Imm 11);
+      label "join";
+      alu Inst.Add 3 3 (Inst.Imm 1);
+      cmp Inst.Lt 1 3 (Inst.Imm 64);
+      br ~guard:1 "loop";
+      halt;
+    ]
+  in
+  let rng = Wish_util.Rng.create 5 in
+  let data = List.init 256 (fun k -> (64 + k, Wish_util.Rng.int rng 2)) in
+  Wish_isa.Program.create ~mem_words:4096 ~data (Wish_isa.Asm.assemble items)
+
+let time_case ~name ~iters ?(config = Wish_sim.Config.default) ~wish () =
+  let program = tiny_hammock ~wish in
+  let trace, _ = Wish_emu.Trace.generate program in
+  for _ = 1 to iters / 10 do
+    ignore (Wish_sim.Runner.simulate ~config ~trace program)
+  done;
+  let t0 = Sys.time () in
+  for _ = 1 to iters do
+    ignore (Wish_sim.Runner.simulate ~config ~trace program)
+  done;
+  let dt = Sys.time () -. t0 in
+  Printf.printf "%-8s %10.0f ns/run (cpu)\n%!" name (1e9 *. dt /. float_of_int iters)
+
+let () =
+  let iters = try int_of_string Sys.argv.(1) with _ -> 300 in
+  time_case ~name:"fig10" ~iters ~wish:true ();
+  time_case ~name:"fig14"
+    ~config:(Wish_sim.Config.with_rob Wish_sim.Config.default 128)
+    ~iters ~wish:true ();
+  time_case ~name:"fig1" ~iters ~wish:false ()

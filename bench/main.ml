@@ -9,19 +9,24 @@
    Options:
      bench/main.exe fig10 tab5      regenerate selected artifacts only
      bench/main.exe --scale 2       larger workloads
-     bench/main.exe --micro-only    skip regeneration, Bechamel only *)
+     bench/main.exe --jobs 4        fan simulations across 4 domains
+     bench/main.exe --no-cache      ignore the on-disk artifact cache
+     bench/main.exe --micro-only    skip regeneration, Bechamel only
+     bench/main.exe --quota 0.01    Bechamel per-test time budget (s) *)
 
 module Lab = Wish_experiments.Lab
 module Figures = Wish_experiments.Figures
+module Ablations = Wish_experiments.Ablations
 
 (* ------------------------------------------------------------------ *)
 (* Artifact regeneration                                               *)
 (* ------------------------------------------------------------------ *)
 
-let regenerate ~scale names =
-  let lab = Lab.create ~scale () in
+let regenerate ~scale ~jobs ~use_cache names =
+  let cache = if use_cache then Some (Wish_experiments.Cache.create ()) else None in
+  let lab = Lab.create ~scale ~jobs ?cache () in
   Lab.set_logger lab (fun s -> Printf.eprintf "[lab] %s\n%!" s);
-  let catalog = Figures.all @ Wish_experiments.Ablations.all in
+  let catalog = Figures.all @ Ablations.all in
   let selected =
     if names = [] then catalog
     else
@@ -37,9 +42,16 @@ let regenerate ~scale names =
   List.iter
     (fun (name, f) ->
       let t0 = Unix.gettimeofday () in
+      (* Fan the artifact's full simulation grid across the worker pool;
+         the generator below then renders from warm memo tables. *)
+      (match (Figures.jobs_for name lab, Ablations.jobs_for name lab) with
+      | [], [] -> ()
+      | js, [] | [], js -> Lab.prewarm lab js
+      | _ -> assert false (* figure and ablation ids are disjoint *));
       Wish_util.Table.print (f lab);
       Printf.printf "(%s regenerated in %.1fs)\n\n%!" name (Unix.gettimeofday () -. t0))
-    selected
+    selected;
+  Lab.shutdown lab
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: the mechanism behind each artifact        *)
@@ -154,10 +166,10 @@ let micro_tests () =
                  ~profile_data:(Wish_workloads.Bench.profile_data b) b.ast))));
   ]
 
-let run_micro () =
+let run_micro ~quota () =
   print_endline "== Bechamel micro-benchmarks (one per paper artifact) ==";
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:(Some 10) () in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second quota) ~kde:(Some 10) () in
   let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"artifacts" (micro_tests ())) in
   let results =
     List.map (fun i -> Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]) i raw) instances
@@ -176,13 +188,22 @@ let run_micro () =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let scale = ref 1 in
+  let jobs = ref (Wish_util.Pool.default_size ()) in
+  let use_cache = ref true in
   let micro_only = ref false in
   let no_micro = ref false in
+  let quota = ref 0.25 in
   let names = ref [] in
   let rec parse = function
     | [] -> ()
     | "--scale" :: v :: rest ->
       scale := int_of_string v;
+      parse rest
+    | "--jobs" :: v :: rest ->
+      jobs := int_of_string v;
+      parse rest
+    | "--no-cache" :: rest ->
+      use_cache := false;
       parse rest
     | "--micro-only" :: rest ->
       micro_only := true;
@@ -190,10 +211,14 @@ let () =
     | "--no-micro" :: rest ->
       no_micro := true;
       parse rest
+    | "--quota" :: v :: rest ->
+      quota := float_of_string v;
+      parse rest
     | x :: rest ->
-      names := !names @ [ x ];
+      names := x :: !names;
       parse rest
   in
   parse args;
-  if not !micro_only then regenerate ~scale:!scale !names;
-  if (not !no_micro) && !names = [] then run_micro ()
+  let names = List.rev !names in
+  if not !micro_only then regenerate ~scale:!scale ~jobs:!jobs ~use_cache:!use_cache names;
+  if (not !no_micro) && names = [] then run_micro ~quota:!quota ()

@@ -6,13 +6,17 @@
       experiments --scale 2 -v    # bigger runs, with progress logging *)
 
 open Cmdliner
+module Lab = Wish_experiments.Lab
+module Figures = Wish_experiments.Figures
+module Ablations = Wish_experiments.Ablations
 
-let run names scale verbose benchmarks csv_dir =
+let run names scale verbose benchmarks csv_dir jobs no_cache =
+  let cache = if no_cache then None else Some (Wish_experiments.Cache.create ()) in
   let lab =
-    Wish_experiments.Lab.create ~scale ?names:(if benchmarks = [] then None else Some benchmarks) ()
+    Lab.create ~scale ?names:(if benchmarks = [] then None else Some benchmarks) ~jobs ?cache ()
   in
-  if verbose then Wish_experiments.Lab.set_logger lab (fun s -> Fmt.epr "[lab] %s@." s);
-  let catalog = Wish_experiments.Figures.all @ Wish_experiments.Ablations.all in
+  if verbose then Lab.set_logger lab (fun s -> Fmt.epr "[lab] %s@." s);
+  let catalog = Figures.all @ Ablations.all in
   let selected =
     if names = [] then catalog
     else
@@ -28,6 +32,10 @@ let run names scale verbose benchmarks csv_dir =
   in
   List.iter
     (fun (name, f) ->
+      (match (Figures.jobs_for name lab, Ablations.jobs_for name lab) with
+      | [], [] -> ()
+      | js, [] | [], js -> Lab.prewarm lab js
+      | _ -> assert false);
       let table = f lab in
       Wish_util.Table.print table;
       print_newline ();
@@ -40,7 +48,8 @@ let run names scale verbose benchmarks csv_dir =
         output_string oc (Wish_util.Table.to_csv table);
         close_out oc;
         Fmt.epr "wrote %s@." path)
-    selected
+    selected;
+  Lab.shutdown lab
 
 let cmd =
   let names = Arg.(value & pos_all string [] & info [] ~docv:"ARTIFACT") in
@@ -53,8 +62,15 @@ let cmd =
     Arg.(value & opt (some string) None
          & info [ "csv" ] ~doc:"Also write each artifact as CSV into this directory")
   in
+  let jobs =
+    Arg.(value & opt int (Wish_util.Pool.default_size ())
+         & info [ "j"; "jobs" ] ~doc:"Worker domains for compile/trace/simulate fan-out")
+  in
+  let no_cache =
+    Arg.(value & flag & info [ "no-cache" ] ~doc:"Ignore the persistent artifact cache")
+  in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Regenerate the wish-branches paper's tables and figures")
-    Term.(const run $ names $ scale $ verbose $ benchmarks $ csv_dir)
+    Term.(const run $ names $ scale $ verbose $ benchmarks $ csv_dir $ jobs $ no_cache)
 
 let () = exit (Cmd.eval cmd)

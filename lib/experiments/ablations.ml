@@ -14,22 +14,24 @@ let f3 = Table.fmt_float ~decimals:3
 
 (** Wish-jjl with and without the overestimate-biased wish-loop predictor
     (without it, wish loops are steered by the hybrid predictor alone). *)
+let a1_bars =
+  [
+    {
+      Figures.label = "with loop predictor (default)";
+      kind = Policy.Wish_jjl;
+      config = Config.default;
+    };
+    {
+      Figures.label = "hybrid only";
+      kind = Policy.Wish_jjl;
+      config = { Config.default with Config.use_loop_predictor = false };
+    };
+    { Figures.label = "wish-jj (no loops)"; kind = Policy.Wish_jj; config = Config.default };
+  ]
+
 let loop_predictor lab =
   Figures.exec_time_table lab
-    ~title:"Ablation A1: wish-jjl with/without the specialized wish-loop predictor"
-    [
-      {
-        Figures.label = "with loop predictor (default)";
-        kind = Policy.Wish_jjl;
-        config = Config.default;
-      };
-      {
-        Figures.label = "hybrid only";
-        kind = Policy.Wish_jjl;
-        config = { Config.default with Config.use_loop_predictor = false };
-      };
-      { Figures.label = "wish-jj (no loops)"; kind = Policy.Wish_jj; config = Config.default };
-    ]
+    ~title:"Ablation A1: wish-jjl with/without the specialized wish-loop predictor" a1_bars
 
 (* ------------------------------------------------------------------ *)
 (* A2: confidence estimator threshold                                   *)
@@ -37,20 +39,22 @@ let loop_predictor lab =
 
 (** JRS threshold sweep: a low threshold reaches high confidence quickly
     (less predication, more flush risk); a high threshold predicates more. *)
-let confidence_threshold lab =
+let a2_bars =
   let with_threshold n =
     { Config.default with Config.conf = { Config.default.Config.conf with Wish_bpred.Confidence.threshold = n } }
   in
+  List.map
+    (fun n ->
+      {
+        Figures.label = Printf.sprintf "threshold %d%s" n (if n = 10 then " (default)" else "");
+        kind = Policy.Wish_jjl;
+        config = with_threshold n;
+      })
+    [ 4; 7; 10; 13; 15 ]
+
+let confidence_threshold lab =
   Figures.exec_time_table lab
-    ~title:"Ablation A2: JRS confidence threshold (wish-jjl binary)"
-    (List.map
-       (fun n ->
-         {
-           Figures.label = Printf.sprintf "threshold %d%s" n (if n = 10 then " (default)" else "");
-           kind = Policy.Wish_jjl;
-           config = with_threshold n;
-         })
-       [ 4; 7; 10; 13; 15 ])
+    ~title:"Ablation A2: JRS confidence threshold (wish-jjl binary)" a2_bars
 
 (* ------------------------------------------------------------------ *)
 (* A3: wish binaries on hardware without wish support (Section 3.4)     *)
@@ -59,18 +63,20 @@ let confidence_threshold lab =
 (** The paper's forward-compatibility argument: wish binaries run
     correctly on processors that ignore the hint bits — but then every
     wish branch behaves like a normal branch over predicated code. *)
+let a3_bars =
+  [
+    { Figures.label = "wish hardware on"; kind = Policy.Wish_jjl; config = Config.default };
+    {
+      Figures.label = "hint bits ignored";
+      kind = Policy.Wish_jjl;
+      config = { Config.default with Config.wish_hardware = false };
+    };
+    { Figures.label = "BASE-MAX (reference)"; kind = Policy.Base_max; config = Config.default };
+  ]
+
 let no_wish_hardware lab =
   Figures.exec_time_table lab
-    ~title:"Ablation A3: wish-jjl binary with wish hardware disabled"
-    [
-      { Figures.label = "wish hardware on"; kind = Policy.Wish_jjl; config = Config.default };
-      {
-        Figures.label = "hint bits ignored";
-        kind = Policy.Wish_jjl;
-        config = { Config.default with Config.wish_hardware = false };
-      };
-      { Figures.label = "BASE-MAX (reference)"; kind = Policy.Base_max; config = Config.default };
-    ]
+    ~title:"Ablation A3: wish-jjl binary with wish hardware disabled" a3_bars
 
 (* ------------------------------------------------------------------ *)
 (* A4: compiler wish-jump threshold N (Section 4.2.2)                   *)
@@ -111,6 +117,26 @@ let wish_threshold_n lab =
         :: List.map (fun n -> f3 (float_of_int (cycles n) /. float_of_int base)) [ 0; 5; 100 ]))
     names;
   t
+
+(** The prewarmable simulation grid behind each study. A4 recompiles
+    with non-default policies outside the lab's tables; only its
+    normalization baselines can be prewarmed. *)
+let jobs =
+  [
+    ("abl-loop-pred", fun lab -> Figures.bar_jobs lab a1_bars);
+    ("abl-conf-threshold", fun lab -> Figures.bar_jobs lab a2_bars);
+    ("abl-no-wish-hw", fun lab -> Figures.bar_jobs lab a3_bars);
+    ( "abl-wish-n",
+      fun lab ->
+        List.filter_map
+          (fun name ->
+            if List.mem name (Lab.bench_names lab) then
+              Some (Lab.job ~bench:name ~kind:Policy.Normal ())
+            else None)
+          [ "gzip"; "twolf"; "gap" ] );
+  ]
+
+let jobs_for name = Option.value (List.assoc_opt name jobs) ~default:(fun _ -> [])
 
 let all =
   [

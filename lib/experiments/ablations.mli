@@ -15,6 +15,10 @@ val no_wish_hardware : Lab.t -> Wish_util.Table.t
 (** A4: compiler wish-jump threshold N sweep (recompiles a subset). *)
 val wish_threshold_n : Lab.t -> Wish_util.Table.t
 
+(** [jobs_for name lab] — the prewarmable simulation grid behind study
+    [name] (empty for unknown names); see {!Figures.jobs_for}. *)
+val jobs_for : string -> Lab.t -> Lab.job list
+
 (** All studies by id: abl-loop-pred, abl-conf-threshold, abl-no-wish-hw,
     abl-wish-n. *)
 val all : (string * (Lab.t -> Wish_util.Table.t)) list

@@ -1,0 +1,73 @@
+(** Persistent, content-addressed artifact cache. See the interface. *)
+
+type t = { root : string; version : int }
+
+let format_version = 1
+
+let default_dir () =
+  match Sys.getenv_opt "WISH_CACHE_DIR" with Some d when d <> "" -> d | _ -> "_wishcache"
+
+let create ?dir ?(version = format_version) () =
+  { root = Option.value dir ~default:(default_dir ()); version }
+
+let dir t = t.root
+
+let digest_of v = Digest.to_hex (Digest.string (Marshal.to_string v []))
+
+(* One subdirectory per entry kind keeps the directory browsable and lets
+   [clear] stay a simple recursive walk. *)
+let path t ~kind ~key =
+  Filename.concat (Filename.concat t.root kind) (Digest.to_hex (Digest.string key) ^ ".bin")
+
+let rec mkdir_p d =
+  if not (Sys.file_exists d) then begin
+    mkdir_p (Filename.dirname d);
+    try Sys.mkdir d 0o755 with Sys_error _ -> ()
+  end
+
+(* The header is fixed-width text so that a version check never has to
+   deserialize untrusted-format payload bytes. *)
+let header t = Printf.sprintf "WISHCACHE %08d\n" t.version
+
+let find t ~kind ~key =
+  let file = path t ~kind ~key in
+  match open_in_bin file with
+  | exception Sys_error _ -> None
+  | ic -> (
+    let expected = header t in
+    let hlen = String.length expected in
+    let verdict =
+      match really_input_string ic hlen with
+      | h when h = expected -> ( try Some (Marshal.from_channel ic) with _ -> None)
+      | _ | (exception End_of_file) -> None
+    in
+    close_in_noerr ic;
+    match verdict with
+    | Some v -> Some v
+    | None ->
+      (* Stale format or corrupt entry: evict so it is not re-examined. *)
+      (try Sys.remove file with Sys_error _ -> ());
+      None)
+
+let store t ~kind ~key v =
+  let file = path t ~kind ~key in
+  try
+    mkdir_p (Filename.dirname file);
+    let tmp = file ^ ".tmp." ^ string_of_int (Unix.getpid ()) in
+    let oc = open_out_bin tmp in
+    output_string oc (header t);
+    Marshal.to_channel oc v [];
+    close_out oc;
+    Sys.rename tmp file
+  with Sys_error _ | Unix.Unix_error _ -> ()
+
+let clear t =
+  let rec rm d =
+    if Sys.file_exists d && Sys.is_directory d then
+      Array.iter
+        (fun name ->
+          let p = Filename.concat d name in
+          if Sys.is_directory p then rm p else try Sys.remove p with Sys_error _ -> ())
+        (Sys.readdir d)
+  in
+  rm t.root

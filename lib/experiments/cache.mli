@@ -1,0 +1,48 @@
+(** Persistent, content-addressed artifact cache for the experiment lab.
+
+    Entries live one-per-file under a cache directory, named by the MD5
+    digest of a caller-supplied key string (bench name, binary kind,
+    input, scale, machine-configuration digest, …). Values are stored
+    with [Marshal] behind a versioned header: bumping the format version
+    turns every existing entry into a miss (the stale file is deleted on
+    the way, never deserialized), which is the invalidation story when
+    the simulator/compiler change what the cached values mean.
+
+    Writes are atomic (temp file + rename), so a crashed or concurrent
+    run can at worst waste work, not corrupt the cache. Reads of
+    corrupted or truncated entries degrade to misses. *)
+
+type t
+
+(** Current on-disk format version. Bump when the meaning or layout of
+    cached values changes. *)
+val format_version : int
+
+(** Default cache directory ["_wishcache"], overridable with the
+    [WISH_CACHE_DIR] environment variable. *)
+val default_dir : unit -> string
+
+(** [create ?dir ?version ()] — open (and lazily create) a cache rooted
+    at [dir]. [version] defaults to {!format_version}; passing another
+    value is mainly for tests of the invalidation path. *)
+val create : ?dir:string -> ?version:int -> unit -> t
+
+val dir : t -> string
+
+(** [find t ~kind ~key] — look up the value stored under [(kind, key)].
+    Unsafe in the [Marshal] sense: the caller must read back the same
+    type it stored, which the version stamp plus content-addressed keys
+    enforce in practice. *)
+val find : t -> kind:string -> key:string -> 'a option
+
+(** [store t ~kind ~key v] — persist [v] under [(kind, key)],
+    overwriting any previous entry. I/O errors are swallowed: a cache
+    that cannot write behaves like a cache that forgets. *)
+val store : t -> kind:string -> key:string -> 'a -> unit
+
+(** Remove every entry (the directory itself is kept). *)
+val clear : t -> unit
+
+(** [digest_of v] — hex MD5 of [v]'s marshalled bytes; used to fold
+    structured values (e.g. {!Wish_sim.Config.t}) into key strings. *)
+val digest_of : 'a -> string

@@ -143,19 +143,20 @@ let fig10 lab = exec_time_table lab ~title:"Figure 10: performance of wish jump/
 let fig12 lab =
   exec_time_table lab ~title:"Figure 12: performance of wish jump/join/loop binaries" bars_fig12
 
+let bars_fig14 rob =
+  let base = Config.with_rob Config.default rob in
+  [
+    { label = "BASE-DEF"; kind = Policy.Base_def; config = base };
+    { label = "BASE-MAX"; kind = Policy.Base_max; config = base };
+    { label = "wish-jjl (real-conf)"; kind = Policy.Wish_jjl; config = base };
+    { label = "wish-jjl (perf-conf)"; kind = Policy.Wish_jjl; config = perfect_conf base };
+  ]
+
 (** Figure 14: effect of instruction window size (128/256/512). Reports
     AVG and AVGnomcf per window size, normalized to the normal binary on
     the same window size. *)
 let fig14 lab =
-  let bars rob =
-    let base = Config.with_rob Config.default rob in
-    [
-      { label = "BASE-DEF"; kind = Policy.Base_def; config = base };
-      { label = "BASE-MAX"; kind = Policy.Base_max; config = base };
-      { label = "wish-jjl (real-conf)"; kind = Policy.Wish_jjl; config = base };
-      { label = "wish-jjl (perf-conf)"; kind = Policy.Wish_jjl; config = perfect_conf base };
-    ]
-  in
+  let bars = bars_fig14 in
   let t =
     Table.create ~title:"Figure 14: effect of instruction window size"
       ~header:[ "window"; "average"; "BASE-DEF"; "BASE-MAX"; "wish-jjl (real)"; "wish-jjl (perf)" ]
@@ -181,18 +182,19 @@ let fig14 lab =
     [ 128; 256; 512 ];
   t
 
+let bars_fig15 stages =
+  let base = Config.with_pipeline_stages (Config.with_rob Config.default 256) stages in
+  [
+    { label = "BASE-DEF"; kind = Policy.Base_def; config = base };
+    { label = "BASE-MAX"; kind = Policy.Base_max; config = base };
+    { label = "wish-jjl (real-conf)"; kind = Policy.Wish_jjl; config = base };
+    { label = "wish-jjl (perf-conf)"; kind = Policy.Wish_jjl; config = perfect_conf base };
+  ]
+
 (** Figure 15: effect of pipeline depth (10/20/30 stages, 256-entry
     window). *)
 let fig15 lab =
-  let bars stages =
-    let base = Config.with_pipeline_stages (Config.with_rob Config.default 256) stages in
-    [
-      { label = "BASE-DEF"; kind = Policy.Base_def; config = base };
-      { label = "BASE-MAX"; kind = Policy.Base_max; config = base };
-      { label = "wish-jjl (real-conf)"; kind = Policy.Wish_jjl; config = base };
-      { label = "wish-jjl (perf-conf)"; kind = Policy.Wish_jjl; config = perfect_conf base };
-    ]
-  in
+  let bars = bars_fig15 in
   let t =
     Table.create ~title:"Figure 15: effect of pipeline depth (256-entry window)"
       ~header:[ "stages"; "average"; "BASE-DEF"; "BASE-MAX"; "wish-jjl (real)"; "wish-jjl (perf)" ]
@@ -218,18 +220,19 @@ let fig15 lab =
     [ 10; 20; 30 ];
   t
 
+let bars_fig16 =
+  let c = select_mech Config.default in
+  [
+    { label = "BASE-DEF"; kind = Policy.Base_def; config = c };
+    { label = "BASE-MAX"; kind = Policy.Base_max; config = c };
+    { label = "wish-jj (real-conf)"; kind = Policy.Wish_jj; config = c };
+    { label = "wish-jjl (real-conf)"; kind = Policy.Wish_jjl; config = c };
+    { label = "wish-jjl (perf-conf)"; kind = Policy.Wish_jjl; config = perfect_conf c };
+  ]
+
 (** Figure 16: the select-µop predication support mechanism. *)
 let fig16 lab =
-  let c = select_mech Config.default in
-  exec_time_table lab
-    ~title:"Figure 16: performance with the select-uop mechanism"
-    [
-      { label = "BASE-DEF"; kind = Policy.Base_def; config = c };
-      { label = "BASE-MAX"; kind = Policy.Base_max; config = c };
-      { label = "wish-jj (real-conf)"; kind = Policy.Wish_jj; config = c };
-      { label = "wish-jjl (real-conf)"; kind = Policy.Wish_jjl; config = c };
-      { label = "wish-jjl (perf-conf)"; kind = Policy.Wish_jjl; config = perfect_conf c };
-    ]
+  exec_time_table lab ~title:"Figure 16: performance with the select-uop mechanism" bars_fig16
 
 (* ------------------------------------------------------------------ *)
 (* Figures 11 and 13: dynamic wish-branch classification               *)
@@ -392,6 +395,58 @@ let table5 lab =
       Table.add_row t ((label :: cells) @ [ pct avg ]))
     rows;
   t
+
+(* ------------------------------------------------------------------ *)
+(* Job enumerators: the full simulation grid behind each artifact, for  *)
+(* Lab.prewarm to fan across worker domains before the (serial, memo-   *)
+(* hitting) generator renders the table.                                *)
+(* ------------------------------------------------------------------ *)
+
+(** [bar_jobs lab bars] — every benchmark × every bar. *)
+let bar_jobs lab bars =
+  List.concat_map
+    (fun name -> List.map (fun b -> Lab.job ~bench:name ~kind:b.kind ~config:b.config ()) bars)
+    (Lab.bench_names lab)
+
+(** [plain_jobs lab kinds] — every benchmark × [kinds], default machine. *)
+let plain_jobs lab kinds =
+  List.concat_map
+    (fun name -> List.map (fun kind -> Lab.job ~bench:name ~kind ()) kinds)
+    (Lab.bench_names lab)
+
+let jobs =
+  [
+    ( "fig1",
+      fun lab ->
+        List.concat_map
+          (fun name ->
+            List.map
+              (fun input -> Lab.job ~bench:name ~kind:Policy.Base_max ~input ())
+              [ "A"; "B"; "C" ])
+          (Lab.bench_names lab) );
+    ( "fig2",
+      fun lab ->
+        List.concat_map
+          (fun name ->
+            List.map
+              (fun (_, kind, knobs) -> Lab.job ~bench:name ~kind ~config:(with_knobs knobs) ())
+              fig2_cases)
+          (Lab.bench_names lab) );
+    ("fig10", fun lab -> bar_jobs lab bars_fig10);
+    ("fig11", fun lab -> plain_jobs lab [ Policy.Wish_jj ]);
+    ("fig12", fun lab -> bar_jobs lab bars_fig12);
+    ("fig13", fun lab -> plain_jobs lab [ Policy.Wish_jjl ]);
+    ("fig14", fun lab -> List.concat_map (fun rob -> bar_jobs lab (bars_fig14 rob)) [ 128; 256; 512 ]);
+    ( "fig15",
+      fun lab -> List.concat_map (fun st -> bar_jobs lab (bars_fig15 st)) [ 10; 20; 30 ] );
+    ("fig16", fun lab -> bar_jobs lab bars_fig16);
+    ("tab4", fun lab -> plain_jobs lab [ Policy.Normal; Policy.Wish_jjl ]);
+    ( "tab5",
+      fun lab ->
+        plain_jobs lab [ Policy.Normal; Policy.Base_def; Policy.Base_max; Policy.Wish_jjl ] );
+  ]
+
+let jobs_for name = Option.value (List.assoc_opt name jobs) ~default:(fun _ -> [])
 
 (* ------------------------------------------------------------------ *)
 (* All artifacts                                                       *)

@@ -29,6 +29,14 @@ val fig16 : Lab.t -> Wish_util.Table.t
 val table4 : Lab.t -> Wish_util.Table.t
 val table5 : Lab.t -> Wish_util.Table.t
 
+(** [bar_jobs lab bars] — every benchmark × every bar, as prewarm jobs. *)
+val bar_jobs : Lab.t -> bar list -> Lab.job list
+
+(** [jobs_for name lab] — the full simulation grid behind artifact
+    [name] (empty for unknown names), for {!Lab.prewarm} to fan across
+    worker domains before the generator renders the table serially. *)
+val jobs_for : string -> Lab.t -> Lab.job list
+
 (** All artifacts by id: fig1, fig2, fig10–fig16, tab4, tab5. *)
 val all : (string * (Lab.t -> Wish_util.Table.t)) list
 

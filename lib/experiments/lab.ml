@@ -7,9 +7,20 @@
     - unless a figure says otherwise (Figure 1 sweeps inputs), simulations
       run on input A — an input the compiler did not train on;
     - execution times are reported normalized to the normal-branch binary
-      under the same machine configuration. *)
+      under the same machine configuration.
+
+    Performance machinery on top of the memo tables:
+    - an optional {!Wish_util.Pool} of worker domains: {!run_batch} and
+      {!prewarm} fan independent compile/trace/simulate jobs across it and
+      fold the results back into the tables on the coordinating domain, so
+      the tables are only ever mutated single-threaded and the outputs are
+      bit-identical to the serial path;
+    - an optional persistent {!Cache}: traces and summaries are looked up
+      by (bench, kind, input, scale[, config]) before being recomputed and
+      stored after, making repeated runs incremental across processes. *)
 
 open Wish_compiler
+module Pool = Wish_util.Pool
 
 type t = {
   scale : int;
@@ -18,11 +29,13 @@ type t = {
   traces : (string * string * string, Wish_emu.Trace.t) Hashtbl.t;
   results : (string * string * string * Wish_sim.Config.t, Wish_sim.Runner.summary) Hashtbl.t;
   mutable log : string -> unit;
+  pool : Pool.t option;
+  cache : Cache.t option;
 }
 
 let eval_input = "A"
 
-let create ?(scale = 1) ?names () =
+let create ?(scale = 1) ?names ?(jobs = 1) ?cache () =
   let names = Option.value names ~default:Wish_workloads.Workloads.names in
   {
     scale;
@@ -31,7 +44,12 @@ let create ?(scale = 1) ?names () =
     traces = Hashtbl.create 64;
     results = Hashtbl.create 256;
     log = ignore;
+    pool = (if jobs > 1 then Some (Pool.create ~size:jobs ()) else None);
+    cache;
   }
+
+let jobs t = match t.pool with Some p -> Pool.size p | None -> 1
+let shutdown t = match t.pool with Some p -> Pool.shutdown p | None -> ()
 
 let set_logger t f = t.log <- f
 
@@ -43,16 +61,43 @@ let bench t name =
   | Some b -> b
   | None -> invalid_arg ("Lab: unknown bench " ^ name)
 
+(* --------------------------------------------------------------- *)
+(* Cache keys                                                       *)
+(* --------------------------------------------------------------- *)
+
+let trace_cache_key t ~bench ~kind ~input =
+  Printf.sprintf "%s|%s|%s|scale%d" bench kind input t.scale
+
+let summary_cache_key t ~bench ~kind ~input ~config =
+  Printf.sprintf "%s|%s|%s|scale%d|cfg%s" bench kind input t.scale (Cache.digest_of config)
+
+let cached_trace t key =
+  match t.cache with None -> None | Some c -> Cache.find c ~kind:"trace" ~key
+
+let cached_summary t key =
+  match t.cache with None -> None | Some c -> Cache.find c ~kind:"summary" ~key
+
+let store_trace t key tr =
+  match t.cache with None -> () | Some c -> Cache.store c ~kind:"trace" ~key tr
+
+let store_summary t key s =
+  match t.cache with None -> () | Some c -> Cache.store c ~kind:"summary" ~key s
+
+(* --------------------------------------------------------------- *)
+(* Serial (memoized, cache-backed) accessors                        *)
+(* --------------------------------------------------------------- *)
+
+let compile t name =
+  let b = bench t name in
+  t.log (Printf.sprintf "compiling %s (5 binaries, profile input %s)" name b.profile_input);
+  Compiler.compile_all ~mem_words:b.mem_words ~name
+    ~profile_data:(Wish_workloads.Bench.profile_data b) b.ast
+
 let binaries t name =
   match Hashtbl.find_opt t.binaries name with
   | Some b -> b
   | None ->
-    let b = bench t name in
-    t.log (Printf.sprintf "compiling %s (5 binaries, profile input %s)" name b.profile_input);
-    let bins =
-      Compiler.compile_all ~mem_words:b.mem_words ~name
-        ~profile_data:(Wish_workloads.Bench.profile_data b) b.ast
-    in
+    let bins = compile t name in
     Hashtbl.add t.binaries name bins;
     bins
 
@@ -61,28 +106,206 @@ let program t ~bench:name ~kind ~input =
   Wish_workloads.Bench.program_for b (Compiler.binary (binaries t name) kind) input
 
 let trace t ~bench:name ~kind ~input =
-  let key = (name, Policy.kind_name kind, input) in
+  let kind_n = Policy.kind_name kind in
+  let key = (name, kind_n, input) in
   match Hashtbl.find_opt t.traces key with
   | Some tr -> tr
   | None ->
-    let tr, _ = Wish_emu.Trace.generate (program t ~bench:name ~kind ~input) in
+    let ckey = trace_cache_key t ~bench:name ~kind:kind_n ~input in
+    let tr =
+      match cached_trace t ckey with
+      | Some tr ->
+        t.log (Printf.sprintf "cache hit: trace %s/%s input %s" name kind_n input);
+        tr
+      | None ->
+        let tr, _ = Wish_emu.Trace.generate (program t ~bench:name ~kind ~input) in
+        store_trace t ckey tr;
+        tr
+    in
     Hashtbl.add t.traces key tr;
     tr
 
 (** [run t ~bench ~kind ?input ?config ()] — memoized simulation. *)
 let run t ~bench:name ~kind ?(input = eval_input) ?(config = Wish_sim.Config.default) () =
-  let key = (name, Policy.kind_name kind, input, config) in
+  let kind_n = Policy.kind_name kind in
+  let key = (name, kind_n, input, config) in
   match Hashtbl.find_opt t.results key with
   | Some s -> s
   | None ->
-    let tr = trace t ~bench:name ~kind ~input in
-    let p = program t ~bench:name ~kind ~input in
-    t.log
-      (Printf.sprintf "simulating %s/%s input %s (%d dynamic insts)" name
-         (Policy.kind_name kind) input (Wish_emu.Trace.length tr));
-    let s = Wish_sim.Runner.simulate ~config ~trace:tr p in
+    let ckey = summary_cache_key t ~bench:name ~kind:kind_n ~input ~config in
+    let s =
+      match cached_summary t ckey with
+      | Some s ->
+        t.log (Printf.sprintf "cache hit: summary %s/%s input %s" name kind_n input);
+        s
+      | None ->
+        let tr = trace t ~bench:name ~kind ~input in
+        let p = program t ~bench:name ~kind ~input in
+        t.log
+          (Printf.sprintf "simulating %s/%s input %s (%d dynamic insts)" name kind_n input
+             (Wish_emu.Trace.length tr));
+        let s = Wish_sim.Runner.simulate ~config ~trace:tr p in
+        store_summary t ckey s;
+        s
+    in
     Hashtbl.add t.results key s;
     s
+
+(* --------------------------------------------------------------- *)
+(* Batched (parallel) execution                                     *)
+(* --------------------------------------------------------------- *)
+
+type job = {
+  job_bench : string;
+  job_kind : Policy.kind;
+  job_input : string;
+  job_config : Wish_sim.Config.t;
+}
+
+let job ~bench ~kind ?(input = eval_input) ?(config = Wish_sim.Config.default) () =
+  { job_bench = bench; job_kind = kind; job_input = input; job_config = config }
+
+(** The baseline run {!normalized} divides by: the normal binary on the
+    same input and machine, with the oracle idealization knobs stripped. *)
+let baseline_of j =
+  {
+    j with
+    job_kind = Policy.Normal;
+    job_config = { j.job_config with Wish_sim.Config.knobs = Wish_sim.Config.no_knobs };
+  }
+
+let with_baselines js = List.concat_map (fun j -> [ j; baseline_of j ]) js
+
+let pmap t f xs = match t.pool with Some p -> Pool.map p f xs | None -> List.map f xs
+
+(* Order-preserving dedup. *)
+let uniq key xs =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun x ->
+      let k = key x in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.add seen k ();
+        true
+      end)
+    xs
+
+let memo_key j = (j.job_bench, Policy.kind_name j.job_kind, j.job_input, j.job_config)
+
+(** [run_batch t jobs] — the parallel twin of {!run}: resolves every job
+    (memo table, then disk cache, then compile/trace/simulate fanned over
+    the worker pool) and returns the summaries in [jobs] order. All memo
+    and cache mutation happens on the calling domain. *)
+let run_batch t jobs =
+  (* Stage 1: compile missing binaries (one job per bench). *)
+  let missing_benches =
+    uniq Fun.id
+      (List.filter_map
+         (fun j -> if Hashtbl.mem t.binaries j.job_bench then None else Some j.job_bench)
+         jobs)
+  in
+  if missing_benches <> [] then
+    List.iter2
+      (fun name bins -> Hashtbl.replace t.binaries name bins)
+      missing_benches
+      (pmap t (fun name -> compile t name) missing_benches);
+  (* Stage 2: resolve summaries from memo and disk; what is left needs
+     simulating. *)
+  let todo =
+    uniq memo_key (List.filter (fun j -> not (Hashtbl.mem t.results (memo_key j))) jobs)
+  in
+  let todo =
+    List.filter
+      (fun j ->
+        let kind_n = Policy.kind_name j.job_kind in
+        let ckey =
+          summary_cache_key t ~bench:j.job_bench ~kind:kind_n ~input:j.job_input
+            ~config:j.job_config
+        in
+        match cached_summary t ckey with
+        | Some s ->
+          t.log
+            (Printf.sprintf "cache hit: summary %s/%s input %s" j.job_bench kind_n j.job_input);
+          Hashtbl.add t.results (memo_key j) s;
+          false
+        | None -> true)
+      todo
+  in
+  (* Stage 3: generate missing traces (one job per (bench, kind, input),
+     shared by every configuration of the same binary/input pair). *)
+  let trace_todo =
+    uniq
+      (fun (name, kind_n, _, input) -> (name, kind_n, input))
+      (List.filter_map
+         (fun j ->
+           let kind_n = Policy.kind_name j.job_kind in
+           if Hashtbl.mem t.traces (j.job_bench, kind_n, j.job_input) then None
+           else Some (j.job_bench, kind_n, j.job_kind, j.job_input))
+         todo)
+  in
+  let trace_todo =
+    List.filter
+      (fun (name, kind_n, _, input) ->
+        match cached_trace t (trace_cache_key t ~bench:name ~kind:kind_n ~input) with
+        | Some tr ->
+          t.log (Printf.sprintf "cache hit: trace %s/%s input %s" name kind_n input);
+          Hashtbl.add t.traces (name, kind_n, input) tr;
+          false
+        | None -> true)
+      trace_todo
+  in
+  if trace_todo <> [] then begin
+    let programs =
+      List.map
+        (fun (name, kind_n, kind, input) ->
+          t.log (Printf.sprintf "tracing %s/%s input %s" name kind_n input);
+          program t ~bench:name ~kind ~input)
+        trace_todo
+    in
+    let generated = pmap t (fun p -> fst (Wish_emu.Trace.generate p)) programs in
+    List.iter2
+      (fun (name, kind_n, _, input) tr ->
+        Hashtbl.replace t.traces (name, kind_n, input) tr;
+        store_trace t (trace_cache_key t ~bench:name ~kind:kind_n ~input) tr)
+      trace_todo generated
+  end;
+  (* Stage 4: simulate. *)
+  if todo <> [] then begin
+    let tasks =
+      List.map
+        (fun j ->
+          let kind_n = Policy.kind_name j.job_kind in
+          let tr = Hashtbl.find t.traces (j.job_bench, kind_n, j.job_input) in
+          let p = program t ~bench:j.job_bench ~kind:j.job_kind ~input:j.job_input in
+          t.log
+            (Printf.sprintf "simulating %s/%s input %s (%d dynamic insts)" j.job_bench kind_n
+               j.job_input (Wish_emu.Trace.length tr));
+          (j, tr, p))
+        todo
+    in
+    let summaries =
+      pmap t
+        (fun (j, tr, p) -> Wish_sim.Runner.simulate ~config:j.job_config ~trace:tr p)
+        tasks
+    in
+    List.iter2
+      (fun (j, _, _) s ->
+        Hashtbl.replace t.results (memo_key j) s;
+        let kind_n = Policy.kind_name j.job_kind in
+        store_summary t
+          (summary_cache_key t ~bench:j.job_bench ~kind:kind_n ~input:j.job_input
+             ~config:j.job_config)
+          s)
+      tasks summaries
+  end;
+  List.map (fun j -> Hashtbl.find t.results (memo_key j)) jobs
+
+let prewarm t jobs = ignore (run_batch t (with_baselines jobs))
+
+(* --------------------------------------------------------------- *)
+(* Derived metrics                                                  *)
+(* --------------------------------------------------------------- *)
 
 (** Execution time normalized to the normal-branch binary on the same input
     and the same machine — with the oracle idealization knobs stripped from

@@ -9,15 +9,31 @@
       run on input A — an input the compiler did not train on;
     - execution times are reported normalized to the normal-branch binary
       under the same machine configuration (oracle knobs stripped from
-      the baseline). *)
+      the baseline).
+
+    Performance machinery: an optional {!Wish_util.Pool} of worker
+    domains ({!run_batch}/{!prewarm} fan independent jobs across it, with
+    results folded back deterministically on the calling domain) and an
+    optional persistent {!Cache} consulted before any recomputation.
+    Figure output is bit-identical whatever [jobs] is and whether the
+    cache is cold, warm, or absent. *)
 
 type t
 
 (** The default evaluation input label ("A"). *)
 val eval_input : string
 
-(** [create ?scale ?names ()] — [names] restricts the benchmark set. *)
-val create : ?scale:int -> ?names:string list -> unit -> t
+(** [create ?scale ?names ?jobs ?cache ()] — [names] restricts the
+    benchmark set; [jobs > 1] spawns that many worker domains for
+    {!run_batch}/{!prewarm} (default 1 = serial); [cache] persists traces
+    and summaries across processes. *)
+val create : ?scale:int -> ?names:string list -> ?jobs:int -> ?cache:Cache.t -> unit -> t
+
+(** Worker-domain count the lab was created with (1 = serial). *)
+val jobs : t -> int
+
+(** Join the worker domains, if any. The lab stays usable serially. *)
+val shutdown : t -> unit
 
 (** [set_logger t f] — progress callbacks for compilations/simulations. *)
 val set_logger : t -> (string -> unit) -> unit
@@ -44,6 +60,42 @@ val run :
   ?config:Wish_sim.Config.t ->
   unit ->
   Wish_sim.Runner.summary
+
+(** One unit of simulation work for {!run_batch}. *)
+type job = {
+  job_bench : string;
+  job_kind : Wish_compiler.Policy.kind;
+  job_input : string;
+  job_config : Wish_sim.Config.t;
+}
+
+(** [job ~bench ~kind ?input ?config ()] — [input] defaults to
+    {!eval_input}, [config] to {!Wish_sim.Config.default}. *)
+val job :
+  bench:string ->
+  kind:Wish_compiler.Policy.kind ->
+  ?input:string ->
+  ?config:Wish_sim.Config.t ->
+  unit ->
+  job
+
+(** The run {!normalized} divides [j] by: the normal binary, same input,
+    same machine, oracle knobs stripped. *)
+val baseline_of : job -> job
+
+(** [with_baselines js] — each job followed by its {!baseline_of}. *)
+val with_baselines : job list -> job list
+
+(** [run_batch t jobs] — the parallel twin of {!run}: resolves every job
+    (memo table, then disk cache, then compile/trace/simulate fanned over
+    the worker pool) and returns the summaries in [jobs] order, identical
+    to what serial {!run} calls would produce. *)
+val run_batch : t -> job list -> Wish_sim.Runner.summary list
+
+(** [prewarm t jobs] — {!run_batch} over [with_baselines jobs], results
+    discarded: populates the memo tables so a figure generator's serial
+    {!run}/{!normalized} calls all hit. *)
+val prewarm : t -> job list -> unit
 
 (** Execution time normalized to the normal-branch binary on the same
     input and machine (baseline strips the oracle knobs). *)

@@ -28,6 +28,82 @@ type fetch_path = F_correct | F_wrong | F_phantom | F_stopped
 
 exception Deadlock of string
 
+(* Completion events live in a calendar wheel: one µop-id bucket per
+   future cycle, indexed by [cycle land (wheel_horizon - 1)]. Scheduling
+   and draining a cycle are O(1) + O(events due), with none of the
+   hashing/resize churn of the (int, int list) Hashtbl this replaces.
+   The horizon exceeds any single-access latency (L1+L2+300-cycle
+   memory); bank-conflict queueing can in principle push a completion
+   past it, so far events sit in an overflow list that is swept back
+   into the wheel once per rotation. *)
+let wheel_horizon = 1024
+
+let wheel_mask = wheel_horizon - 1
+
+(* A fetch group: µops in fetch order, consumed from [next] by rename.
+   Plain array + cursor instead of the previous [Uop.t list ref]. *)
+type fgroup = { ready_cycle : int; uops : Uop.t array; mutable next : int }
+
+(* Grow-only per-address buffer of pending store ids. Buffers are reused
+   across occupancy cycles of the same address, so steady-state store
+   tracking allocates nothing. *)
+type ibuf = { mutable ids : int array; mutable len : int }
+
+(* Per-µop and per-branch counters, resolved to their cells once at
+   creation: the pipeline stages bump these several times per µop, and
+   hashing the counter name each time is measurable on the hot path. *)
+type hot_counters = {
+  c_fetched : int ref;
+  c_nops : int ref;
+  c_icache_stalls : int ref;
+  c_divergences : int ref;
+  c_btb_misses : int ref;
+  c_nofetch : int ref;
+  c_phantom_entries : int ref;
+  c_renamed : int ref;
+  c_issued : int ref;
+  c_load_latency : int ref;
+  c_loads : int ref;
+  c_retired : int ref;
+  c_retired_correct : int ref;
+  c_retired_guard_false : int ref;
+  c_retired_phantom : int ref;
+  c_cond_retired : int ref;
+  c_misp_retired : int ref;
+  c_misp_resolved : int ref;
+  c_flushes : int ref;
+  c_flush_delay : int ref;
+  c_wish_retired : int ref;
+  c_wish_loop_retired : int ref;
+}
+
+let hot_counters stats =
+  let c = Stats.counter stats in
+  {
+    c_fetched = c "fetched_uops";
+    c_nops = c "nops_eliminated";
+    c_icache_stalls = c "icache_stalls";
+    c_divergences = c "divergences";
+    c_btb_misses = c "btb_misses";
+    c_nofetch = c "nofetch_dropped";
+    c_phantom_entries = c "phantom_entries";
+    c_renamed = c "renamed_uops";
+    c_issued = c "issued_uops";
+    c_load_latency = c "load_latency_total";
+    c_loads = c "load_count";
+    c_retired = c "retired_uops";
+    c_retired_correct = c "retired_correct";
+    c_retired_guard_false = c "retired_guard_false";
+    c_retired_phantom = c "retired_phantom";
+    c_cond_retired = c "cond_branches_retired";
+    c_misp_retired = c "mispredicts_retired";
+    c_misp_resolved = c "mispredicts_resolved";
+    c_flushes = c "flushes";
+    c_flush_delay = c "flush_delay_total";
+    c_wish_retired = c "wish_retired";
+    c_wish_loop_retired = c "wish_loop_retired";
+  }
+
 type t = {
   config : Config.t;
   code : Code.t;
@@ -42,17 +118,19 @@ type t = {
   rob : Uop.t Ring.t;
   in_flight : (int, Uop.t) Hashtbl.t;
   ready : Heap.t;
-  events : (int, int list) Hashtbl.t; (* completion cycle -> µop ids *)
-  pending_stores : (int, int list) Hashtbl.t; (* byte addr -> store µop ids *)
+  events : int list array; (* calendar wheel: bucket per cycle mod horizon *)
+  mutable events_overflow : (int * int) list; (* (cycle, id) beyond the horizon *)
+  pending_stores : (int, ibuf) Hashtbl.t; (* byte addr -> store µop ids *)
   fsm : Wish_fsm.t;
   stats : Stats.t;
+  hot : hot_counters;
   mutable cycle : int;
   mutable next_id : int;
   mutable fetch_pc : int;
   mutable fetch_path : fetch_path;
   mutable fetch_stall_until : int;
   mutable last_fetch_line : int;
-  feq : (int * Uop.t list ref) Queue.t; (* (rename-ready cycle, fetch group) *)
+  feq : fgroup Queue.t; (* fetch-to-rename delay line *)
   mutable feq_uops : int; (* occupancy of the fetch-to-rename delay line *)
   mutable halted : bool;
   mutable last_retire_cycle : int;
@@ -60,6 +138,7 @@ type t = {
 }
 
 let create config (program : Program.t) trace =
+  let stats = Stats.create () in
   {
     config;
     code = Program.code program;
@@ -74,10 +153,12 @@ let create config (program : Program.t) trace =
     rob = Ring.create config.rob_size;
     in_flight = Hashtbl.create 2048;
     ready = Heap.create ();
-    events = Hashtbl.create 512;
+    events = Array.make wheel_horizon [];
+    events_overflow = [];
     pending_stores = Hashtbl.create 64;
     fsm = Wish_fsm.create ();
-    stats = Stats.create ();
+    stats;
+    hot = hot_counters stats;
     cycle = 0;
     next_id = 0;
     fetch_pc = program.entry;
@@ -95,8 +176,6 @@ let fresh_id t =
   let id = t.next_id in
   t.next_id <- id + 1;
   id
-
-let find_uop t id = Hashtbl.find_opt t.in_flight id
 
 (* ----------------------------------------------------------------- *)
 (* Fetch                                                              *)
@@ -263,7 +342,7 @@ let fetch_branch t ~pc ~(inst : Inst.t) ~path ~(entry : Oracle.entry option) =
       match Btb.lookup t.btb ~pc with
       | Some _ -> 0
       | None ->
-        Stats.incr t.stats "btb_misses";
+        incr t.hot.c_btb_misses;
         t.config.btb_miss_penalty
     end
     else 0
@@ -388,6 +467,9 @@ let fetch_stage t =
     let budget = ref t.config.fetch_width in
     let cond_branches = ref 0 in
     let group = ref [] in
+    (* [group] is kept youngest-first (cons); [gcount] avoids List.length
+       on the hot path and sizes the final array directly. *)
+    let gcount = ref 0 in
     let continue = ref true in
     while !continue && !budget > 0 do
       let pc = t.fetch_pc in
@@ -408,7 +490,7 @@ let fetch_stage t =
         in
         if stall > 0 then begin
           t.fetch_stall_until <- t.cycle + stall;
-          Stats.incr t.stats "icache_stalls";
+          incr t.hot.c_icache_stalls;
           continue := false
         end
         else begin
@@ -422,7 +504,7 @@ let fetch_stage t =
               | None ->
                 (* Left the correct path: an older branch mispredicted. *)
                 t.fetch_path <- F_wrong;
-                Stats.incr t.stats "divergences";
+                incr t.hot.c_divergences;
                 None)
             | F_wrong | F_phantom -> None
             | F_stopped -> assert false
@@ -431,7 +513,7 @@ let fetch_stage t =
           match inst.op with
           | Inst.Nop ->
             (* NOPs are eliminated at µop translation (paper Section 4.1). *)
-            Stats.incr t.stats "nops_eliminated";
+            incr t.hot.c_nops;
             t.fetch_pc <- pc + 1
           | Inst.Halt when path <> F_correct ->
             t.fetch_path <- F_stopped;
@@ -443,7 +525,7 @@ let fetch_stage t =
               && (match entry with Some e -> not e.guard_true | None -> false)
             in
             if drop then begin
-              Stats.incr t.stats "nofetch_dropped";
+              incr t.hot.c_nofetch;
               t.fetch_pc <- pc + 1
             end
             else if is_br then begin
@@ -454,9 +536,10 @@ let fetch_stage t =
                   fetch_branch t ~pc ~inst ~path ~entry
                 in
                 group := uop :: !group;
+                incr gcount;
                 decr budget;
                 if Inst.is_conditional inst then incr cond_branches;
-                Stats.incr t.stats "fetched_uops";
+                incr t.hot.c_fetched;
                 (* Phantom transitions for low-confidence wish loops. *)
                 (match (path, Inst.branch_kind inst) with
                 | (F_correct | F_phantom), Some Inst.Wish_loop
@@ -468,7 +551,7 @@ let fetch_stage t =
                     (* Iterating past the real exit: extra iterations flow
                        through as NOPs unless a flush cuts them short. *)
                     t.fetch_path <- F_phantom;
-                    Stats.incr t.stats "phantom_entries"
+                    incr t.hot.c_phantom_entries
                   | false, _, F_phantom ->
                     (* Predicted exit while phantom: reconverge. *)
                     t.fetch_path <- F_correct
@@ -484,10 +567,11 @@ let fetch_stage t =
             end
             else begin
               let uops = translate_plain t ~pc ~inst ~path ~entry in
-              let n = List.length uops in
+              let n = match uops with [ _ ] -> 1 | _ -> List.length uops in
               List.iter (fun u -> group := u :: !group) uops;
+              gcount := !gcount + n;
               budget := !budget - n;
-              Stats.incr ~by:n t.stats "fetched_uops";
+              t.hot.c_fetched := !(t.hot.c_fetched) + n;
               (match inst.op with
               | Inst.Halt ->
                 t.fetch_path <- F_stopped;
@@ -498,10 +582,21 @@ let fetch_stage t =
         end
       end
     done;
-    if !group <> [] then begin
-      t.feq_uops <- t.feq_uops + List.length !group;
-      Queue.push (t.cycle + t.config.frontend_depth, ref (List.rev !group)) t.feq
-    end
+    match !group with
+    | [] -> ()
+    | youngest :: older ->
+      (* Materialize the group oldest-first in one pass (no List.rev). *)
+      let n = !gcount in
+      let uops = Array.make n youngest in
+      let rec fill i = function
+        | [] -> ()
+        | u :: tl ->
+          uops.(i) <- u;
+          fill (i - 1) tl
+      in
+      fill (n - 2) older;
+      t.feq_uops <- t.feq_uops + n;
+      Queue.push { ready_cycle = t.cycle + t.config.frontend_depth; uops; next = 0 } t.feq
   end
 
 (* ----------------------------------------------------------------- *)
@@ -510,11 +605,11 @@ let fetch_stage t =
 
 let add_dependency t (u : Uop.t) producer_id =
   if producer_id >= 0 then
-    match find_uop t producer_id with
-    | Some p when p.state <> Uop.Done ->
+    match Hashtbl.find t.in_flight producer_id with
+    | p when p.Uop.state <> Uop.Done ->
       p.waiters <- u.id :: p.waiters;
       u.pending <- u.pending + 1
-    | Some _ | None -> ()
+    | _ | (exception Not_found) -> ()
 
 let mark_ready t (u : Uop.t) =
   u.state <- Uop.In_ready_queue;
@@ -522,18 +617,38 @@ let mark_ready t (u : Uop.t) =
 
 let track_store t (u : Uop.t) =
   if u.exec_class = Uop.Ec_store && u.byte_addr >= 0 && not u.guard_false then begin
-    let l = Option.value (Hashtbl.find_opt t.pending_stores u.byte_addr) ~default:[] in
-    Hashtbl.replace t.pending_stores u.byte_addr (u.id :: l)
+    let buf =
+      match Hashtbl.find_opt t.pending_stores u.byte_addr with
+      | Some b -> b
+      | None ->
+        let b = { ids = Array.make 4 0; len = 0 } in
+        Hashtbl.add t.pending_stores u.byte_addr b;
+        b
+    in
+    if buf.len = Array.length buf.ids then begin
+      let bigger = Array.make (2 * buf.len) 0 in
+      Array.blit buf.ids 0 bigger 0 buf.len;
+      buf.ids <- bigger
+    end;
+    buf.ids.(buf.len) <- u.id;
+    buf.len <- buf.len + 1
   end
 
 let untrack_store t (u : Uop.t) =
   if u.exec_class = Uop.Ec_store && u.byte_addr >= 0 && not u.guard_false then begin
     match Hashtbl.find_opt t.pending_stores u.byte_addr with
     | None -> ()
-    | Some l -> (
-      match List.filter (fun id -> id <> u.id) l with
-      | [] -> Hashtbl.remove t.pending_stores u.byte_addr
-      | l' -> Hashtbl.replace t.pending_stores u.byte_addr l')
+    | Some buf ->
+      (* Membership set: drop by swapping with the last entry. The empty
+         buffer stays in the table for the next store to this address. *)
+      let i = ref 0 in
+      while !i < buf.len do
+        if buf.ids.(!i) = u.id then begin
+          buf.len <- buf.len - 1;
+          buf.ids.(!i) <- buf.ids.(buf.len)
+        end
+        else incr i
+      done
   end
 
 (* Rename one µop: resolve producers, update the RAT, checkpoint branches. *)
@@ -587,7 +702,7 @@ let rename_uop t (u : Uop.t) ~select_producer =
   (match u.br with Some b -> b.rat_ckpt <- Some (Rat.snapshot t.rat) | None -> ());
   track_store t u;
   Ring.push t.rob u;
-  Stats.incr t.stats "renamed_uops";
+  incr t.hot.c_renamed;
   if u.pending = 0 then mark_ready t u
 
 let rename_stage t =
@@ -595,10 +710,10 @@ let rename_stage t =
   let continue = ref true in
   while !continue && !budget > 0 do
     match Queue.peek_opt t.feq with
-    | Some (ready_cycle, uops) when ready_cycle <= t.cycle -> (
-      match !uops with
-      | [] -> ignore (Queue.pop t.feq)
-      | u :: rest ->
+    | Some g when g.ready_cycle <= t.cycle ->
+      if g.next >= Array.length g.uops then ignore (Queue.pop t.feq)
+      else begin
+        let u = g.uops.(g.next) in
         if Ring.is_full t.rob then continue := false
         else begin
           (* A select µop consumes the computation µop created immediately
@@ -609,8 +724,9 @@ let rename_stage t =
           rename_uop t u ~select_producer;
           decr budget;
           t.feq_uops <- t.feq_uops - 1;
-          uops := rest
-        end)
+          g.next <- g.next + 1
+        end
+      end
     | Some _ | None -> continue := false
   done
 
@@ -621,8 +737,11 @@ let rename_stage t =
 let schedule_completion t (u : Uop.t) latency =
   let c = t.cycle + max 1 latency in
   u.complete_cycle <- c;
-  let existing = Option.value (Hashtbl.find_opt t.events c) ~default:[] in
-  Hashtbl.replace t.events c (u.id :: existing)
+  if c - t.cycle < wheel_horizon then begin
+    let slot = c land wheel_mask in
+    t.events.(slot) <- u.id :: t.events.(slot)
+  end
+  else t.events_overflow <- (c, u.id) :: t.events_overflow
 
 (* Loads wait for older incomplete stores to the same address (addresses
    are known at rename, so disambiguation is idealized-perfect). *)
@@ -631,7 +750,12 @@ let load_blocked t (u : Uop.t) =
   &&
   match Hashtbl.find_opt t.pending_stores u.byte_addr with
   | None -> false
-  | Some ids -> List.exists (fun id -> id < u.id) ids
+  | Some buf ->
+    let blocked = ref false in
+    for i = 0 to buf.len - 1 do
+      if buf.ids.(i) < u.id then blocked := true
+    done;
+    !blocked
 
 let latency_of t (u : Uop.t) =
   match u.exec_class with
@@ -646,8 +770,8 @@ let latency_of t (u : Uop.t) =
     if u.guard_false || u.byte_addr < 0 then 1
     else begin
       let lat = Hierarchy.access_data t.hier ~now:t.cycle ~byte_addr:u.byte_addr in
-      Stats.incr ~by:lat t.stats "load_latency_total";
-      Stats.incr t.stats "load_count";
+      t.hot.c_load_latency := !(t.hot.c_load_latency) + lat;
+      incr t.hot.c_loads;
       lat
     end
 
@@ -658,17 +782,17 @@ let issue_stage t =
     match Heap.pop t.ready with
     | None -> budget := 0
     | Some id -> (
-      match find_uop t id with
-      | None -> () (* flushed *)
-      | Some u when u.flushed || u.state <> Uop.In_ready_queue -> ()
-      | Some u ->
+      match Hashtbl.find t.in_flight id with
+      | exception Not_found -> () (* flushed *)
+      | u when u.flushed || u.state <> Uop.In_ready_queue -> ()
+      | u ->
         if u.exec_class = Uop.Ec_load && load_blocked t u then
           deferred := id :: !deferred
         else begin
           u.state <- Uop.Issued;
           schedule_completion t u (latency_of t u);
           decr budget;
-          Stats.incr t.stats "issued_uops"
+          incr t.hot.c_issued
         end)
   done;
   List.iter (fun id -> Heap.push t.ready id) !deferred
@@ -687,14 +811,18 @@ let undo_speculative t (u : Uop.t) =
 
 let recover t (u : Uop.t) =
   let b = Option.get u.br in
-  Stats.incr t.stats "flushes";
+  incr t.hot.c_flushes;
   Stats.incr t.stats (Printf.sprintf "flush@pc%d" u.pc);
-  Stats.incr ~by:(t.cycle - u.fetch_cycle) t.stats "flush_delay_total";
+  t.hot.c_flush_delay := !(t.hot.c_flush_delay) + (t.cycle - u.fetch_cycle);
   (* Squash everything younger: first the fetch queue (youngest), then the
      ROB suffix, each iterated youngest-first for exact history repair. *)
   let feq_groups = List.of_seq (Queue.to_seq t.feq) in
   List.iter
-    (fun (_, uops) -> List.iter (undo_speculative t) (List.rev !uops))
+    (fun g ->
+      (* Only the not-yet-renamed suffix is still in the front end. *)
+      for i = Array.length g.uops - 1 downto g.next do
+        undo_speculative t g.uops.(i)
+      done)
     (List.rev feq_groups);
   Queue.clear t.feq;
   t.feq_uops <- 0;
@@ -737,7 +865,7 @@ let resolve_branch t (u : Uop.t) =
       ~is_wish:(Inst.is_wish u.inst);
   if u.path = Uop.Wrong then ()
   else if Uop.mispredicted b then begin
-    Stats.incr t.stats "mispredicts_resolved";
+    incr t.hot.c_misp_resolved;
     let flush_needed =
       match (b.wish_kind, b.fetch_mode) with
       | Some (Inst.Wish_jump | Inst.Wish_join), Uop.Low_conf ->
@@ -779,46 +907,65 @@ let complete_uop t (u : Uop.t) =
   if stores_completed then untrack_store t u;
   List.iter
     (fun wid ->
-      match find_uop t wid with
-      | Some w when (not w.flushed) && w.state = Uop.Waiting ->
+      match Hashtbl.find t.in_flight wid with
+      | w when (not w.Uop.flushed) && w.state = Uop.Waiting ->
         w.pending <- w.pending - 1;
         if w.pending = 0 then mark_ready t w
-      | Some _ | None -> ())
+      | _ | (exception Not_found) -> ())
     u.waiters;
   u.waiters <- [];
   if Uop.is_branch_uop u && not u.flushed then resolve_branch t u
 
 let process_events t =
-  match Hashtbl.find_opt t.events t.cycle with
-  | None -> ()
-  | Some ids ->
-    Hashtbl.remove t.events t.cycle;
+  (* Once per wheel rotation, sweep matured overflow events into their
+     buckets (every bucket index is >= the current cycle right now, so
+     the target slot has not passed). In practice the overflow list is
+     empty: only pathological bank-conflict queueing exceeds the
+     horizon. *)
+  if t.cycle land wheel_mask = 0 && t.events_overflow <> [] then
+    t.events_overflow <-
+      List.filter
+        (fun (c, id) ->
+          if c - t.cycle < wheel_horizon then begin
+            let slot = c land wheel_mask in
+            t.events.(slot) <- id :: t.events.(slot);
+            false
+          end
+          else true)
+        t.events_overflow;
+  let slot = t.cycle land wheel_mask in
+  match t.events.(slot) with
+  | [] -> ()
+  | ids ->
+    t.events.(slot) <- [];
     (* Oldest-first so that the oldest misprediction wins the flush. *)
     let ids = List.sort compare ids in
     List.iter
       (fun id ->
-        match find_uop t id with
-        | Some u when not u.flushed -> complete_uop t u
-        | Some _ | None -> ())
+        match Hashtbl.find t.in_flight id with
+        | u when not u.Uop.flushed -> complete_uop t u
+        | _ | (exception Not_found) -> ())
       ids
 
 let count_wish_retirement t (u : Uop.t) (b : Uop.branch_rec) =
   match b.wish_kind with
   | None -> ()
   | Some kind ->
-    Stats.incr t.stats "wish_retired";
+    incr t.hot.c_wish_retired;
     let predictor_correct =
       match b.lookup with Some l -> l.taken = b.actual_taken | None -> true
     in
     let conf = Option.value b.conf_high ~default:false in
     let bucket =
-      Printf.sprintf "wish_%s_%s"
-        (if conf then "high" else "low")
-        (if predictor_correct then "correct" else "mispred")
+      match (conf, predictor_correct) with
+      | true, true -> "wish_high_correct"
+      | true, false -> "wish_high_mispred"
+      | false, true -> "wish_low_correct"
+      | false, false -> "wish_low_mispred"
     in
     Stats.incr t.stats bucket;
     if kind = Inst.Wish_loop then begin
-      Stats.incr t.stats "wish_loop_retired";
+      incr t.hot.c_wish_loop_retired;
       let lbucket =
         match (conf, b.loop_class, predictor_correct) with
         | true, _, true -> "loop_high_correct"
@@ -843,12 +990,12 @@ let retire_stage t =
       untrack_store t u;
       decr budget;
       t.last_retire_cycle <- t.cycle;
-      Stats.incr t.stats "retired_uops";
+      incr t.hot.c_retired;
       (match u.path with
       | Uop.Correct ->
-        Stats.incr t.stats "retired_correct";
-        if u.guard_false then Stats.incr t.stats "retired_guard_false"
-      | Uop.Phantom -> Stats.incr t.stats "retired_phantom"
+        incr t.hot.c_retired_correct;
+        if u.guard_false then incr t.hot.c_retired_guard_false
+      | Uop.Phantom -> incr t.hot.c_retired_phantom
       | Uop.Wrong -> assert false);
       (match u.br with
       | Some b when u.path = Uop.Correct ->
@@ -857,7 +1004,7 @@ let retire_stage t =
         | Some l -> Hybrid.train t.hybrid l ~taken:b.actual_taken
         | None -> ());
         if Uop.mispredicted b then begin
-          Stats.incr t.stats "mispredicts_retired";
+          incr t.hot.c_misp_retired;
           Stats.incr t.stats (Printf.sprintf "misp@pc%d" u.pc)
         end;
         if b.wish_kind <> None && not t.config.knobs.perfect_conf then begin
@@ -869,7 +1016,7 @@ let retire_stage t =
         end;
         if t.config.use_loop_predictor && b.wish_kind = Some Inst.Wish_loop then
           Loop_pred.train t.loop_pred ~pc:u.pc ~taken:b.actual_taken;
-        if Inst.is_conditional u.inst then Stats.incr t.stats "cond_branches_retired";
+        if Inst.is_conditional u.inst then incr t.hot.c_cond_retired;
         count_wish_retirement t u b
       | Some _ | None -> ());
       (match u.inst.op with

@@ -1,0 +1,98 @@
+(** Fixed-size domain worker pool. See the interface for the contract.
+
+    Synchronization discipline: the queue, the liveness flag and the
+    outstanding-task counter are all guarded by [mutex]. Result slots are
+    written by exactly one worker each and read by the coordinator only
+    after it has observed [outstanding = 0] under the mutex, which orders
+    the writes before the reads. *)
+
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  work_ready : Condition.t; (* a task was queued, or the pool is closing *)
+  work_done : Condition.t; (* the outstanding counter reached zero *)
+  tasks : (unit -> unit) Queue.t;
+  mutable outstanding : int;
+  mutable live : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let default_size () = Domain.recommended_domain_count ()
+
+let worker_loop t =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while t.live && Queue.is_empty t.tasks do
+      Condition.wait t.work_ready t.mutex
+    done;
+    if Queue.is_empty t.tasks then Mutex.unlock t.mutex (* closing *)
+    else begin
+      let task = Queue.pop t.tasks in
+      Mutex.unlock t.mutex;
+      (* Tasks catch their own exceptions (see [map]); this handler only
+         guards against the counter going out of sync. *)
+      (try task () with _ -> ());
+      Mutex.lock t.mutex;
+      t.outstanding <- t.outstanding - 1;
+      if t.outstanding = 0 then Condition.broadcast t.work_done;
+      Mutex.unlock t.mutex;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?size () =
+  let size = max 1 (Option.value size ~default:(default_size ())) in
+  let t =
+    {
+      size;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      tasks = Queue.create ();
+      outstanding = 0;
+      live = true;
+      workers = [||];
+    }
+  in
+  if size > 1 then t.workers <- Array.init size (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let size t = t.size
+
+let map t f xs =
+  if xs = [] then []
+  else if Array.length t.workers = 0 then List.map f xs
+  else begin
+    let inputs = Array.of_list xs in
+    let n = Array.length inputs in
+    let results = Array.make n None in
+    Mutex.lock t.mutex;
+    t.outstanding <- t.outstanding + n;
+    Array.iteri
+      (fun i x ->
+        Queue.push
+          (fun () ->
+            let r = try Ok (f x) with e -> Error e in
+            results.(i) <- Some r)
+          t.tasks)
+      inputs;
+    Condition.broadcast t.work_ready;
+    while t.outstanding > 0 do
+      Condition.wait t.work_done t.mutex
+    done;
+    Mutex.unlock t.mutex;
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok y) -> y
+         | Some (Error e) -> raise e
+         | None -> assert false)
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.live <- false;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.mutex;
+  Array.iter Domain.join t.workers;
+  t.workers <- [||]

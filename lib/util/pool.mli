@@ -1,0 +1,35 @@
+(** Fixed-size domain worker pool (OCaml 5 [Domain] + [Mutex] +
+    [Condition], no dependencies).
+
+    The pool owns [size - 1 |> max 0] worker domains pulling tasks from a
+    shared queue; {!map} fans a list of independent jobs across them and
+    returns the results in submission order, so callers see deterministic
+    output regardless of scheduling. A pool of size 1 spawns no domains
+    and degenerates to [List.map] on the calling domain.
+
+    Intended use: embarrassingly parallel compile/trace/simulate sweeps.
+    {!map} is meant to be called from one coordinating domain at a time;
+    jobs themselves must not call back into the pool. *)
+
+type t
+
+(** [Domain.recommended_domain_count ()] — the default pool size. *)
+val default_size : unit -> int
+
+(** [create ?size ()] — spawn the workers. [size] is clamped to [>= 1]
+    and defaults to {!default_size}. *)
+val create : ?size:int -> unit -> t
+
+val size : t -> int
+
+(** [map t f xs] — run [f] over every element of [xs] on the pool and
+    return the results in submission (list) order.
+
+    A job raising an exception does not wedge the pool or abandon the
+    other jobs: every job still runs to completion, and the first
+    exception (in submission order) is re-raised afterwards. *)
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [shutdown t] — drain and join the workers. Idempotent; after
+    shutdown, {!map} falls back to the calling domain. *)
+val shutdown : t -> unit

@@ -13,6 +13,8 @@ let cell t name =
     t.order <- name :: t.order;
     r
 
+let counter = cell
+
 let incr ?(by = 1) t name =
   let r = cell t name in
   r := !r + by

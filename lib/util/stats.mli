@@ -4,6 +4,12 @@
 type t
 
 val create : unit -> t
+
+(** [counter t name] — the live cell behind [name], creating it at zero if
+    needed. Hot paths hold the cell instead of re-hashing the name on every
+    increment; the cell stays valid for the lifetime of [t]. *)
+val counter : t -> string -> int ref
+
 val incr : ?by:int -> t -> string -> unit
 val set : t -> string -> int -> unit
 

@@ -4,10 +4,19 @@
 
 module Lab = Wish_experiments.Lab
 module Figures = Wish_experiments.Figures
+module Cache = Wish_experiments.Cache
 module Policy = Wish_compiler.Policy
 module Config = Wish_sim.Config
 
 let check = Alcotest.check
+
+(* Full-fidelity summary comparison: the headline fields plus every raw
+   counter, in recording order. *)
+let summary_repr (s : Wish_sim.Runner.summary) =
+  Format.asprintf "cycles=%d insts=%d uops=%d flushes=%d misp=%d upc=%.6f %a" s.cycles
+    s.dynamic_insts s.retired_uops s.flushes s.mispredicts s.upc
+    (Fmt.list ~sep:Fmt.comma (Fmt.pair ~sep:(Fmt.any "=") Fmt.string Fmt.int))
+    (Wish_util.Stats.to_assoc s.stats)
 
 (* One lab shared by all tests: results are memoized inside. *)
 let lab = lazy (Lab.create ~scale:1 ~names:[ "gzip"; "gap" ] ())
@@ -83,6 +92,93 @@ let test_fig2_ordering () =
   Alcotest.(check bool) "no-depend helps" true (nd <= base +. 0.01);
   Alcotest.(check bool) "no-fetch helps further" true (ndnf <= nd +. 0.01)
 
+(* ------------------------------------------------------------------ *)
+(* Parallel batch determinism                                          *)
+(* ------------------------------------------------------------------ *)
+
+let grid lab =
+  let small = Config.with_rob Config.default 128 in
+  List.concat_map
+    (fun bench ->
+      [
+        Lab.job ~bench ~kind:Policy.Normal ();
+        Lab.job ~bench ~kind:Policy.Wish_jj ();
+        Lab.job ~bench ~kind:Policy.Wish_jj ~config:small ();
+        Lab.job ~bench ~kind:Policy.Base_max ();
+      ])
+    (Lab.bench_names lab)
+
+let test_run_batch_matches_serial () =
+  (* The same workload grid through 4 worker domains and through plain
+     serial [run] must produce identical summaries (the lab's tables are
+     bit-identical whatever --jobs is). *)
+  let names = [ "gzip" ] in
+  let par = Lab.create ~scale:1 ~names ~jobs:4 () in
+  let ser = Lab.create ~scale:1 ~names () in
+  let batch = Lab.run_batch par (grid par) in
+  let serial =
+    List.map
+      (fun (j : Lab.job) ->
+        Lab.run ser ~bench:j.job_bench ~kind:j.job_kind ~input:j.job_input ~config:j.job_config ())
+      (grid ser)
+  in
+  Lab.shutdown par;
+  List.iteri
+    (fun i (a, b) ->
+      check Alcotest.string (Printf.sprintf "job %d identical" i) (summary_repr b) (summary_repr a))
+    (List.combine batch serial);
+  (* run_batch populated the memo tables: a follow-up serial run on the
+     parallel lab returns the memoized object itself. *)
+  let again = Lab.run par ~bench:"gzip" ~kind:Policy.Normal () in
+  Alcotest.(check bool) "memo hit after batch" true (List.nth batch 0 == again)
+
+(* ------------------------------------------------------------------ *)
+(* Persistent artifact cache                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Tests run in the build sandbox; a relative directory stays inside it. *)
+let cache_dir = "_test_wishcache"
+
+let test_cache_roundtrip () =
+  let dir = cache_dir ^ "_rt" in
+  let cache = Cache.create ~dir () in
+  Cache.clear cache;
+  let fresh = Lab.create ~scale:1 ~names:[ "gzip" ] ~cache () in
+  let a = Lab.run fresh ~bench:"gzip" ~kind:Policy.Wish_jj () in
+  (* A brand-new lab over the same directory must resolve the same key
+     from disk, without recompiling or resimulating. *)
+  let warm = Lab.create ~scale:1 ~names:[ "gzip" ] ~cache () in
+  let hits = ref [] in
+  Lab.set_logger warm (fun s -> hits := s :: !hits);
+  let b = Lab.run warm ~bench:"gzip" ~kind:Policy.Wish_jj () in
+  check Alcotest.string "summary read back equals freshly computed" (summary_repr a)
+    (summary_repr b);
+  Alcotest.(check bool) "served from cache" true
+    (List.exists (fun s -> String.length s >= 9 && String.sub s 0 9 = "cache hit") !hits);
+  Alcotest.(check bool) "no simulation ran" false
+    (List.exists (fun s -> String.length s >= 10 && String.sub s 0 10 = "simulating") !hits)
+
+let test_cache_version_invalidation () =
+  let dir = cache_dir ^ "_ver" in
+  let v1 = Cache.create ~dir ~version:1 () in
+  Cache.clear v1;
+  Cache.store v1 ~kind:"summary" ~key:"k" (42, "payload");
+  check
+    Alcotest.(option (pair int string))
+    "same version hits" (Some (42, "payload"))
+    (Cache.find v1 ~kind:"summary" ~key:"k");
+  (* A bumped format version must miss (and evict) rather than
+     deserialize stale data. *)
+  let v2 = Cache.create ~dir ~version:2 () in
+  check
+    Alcotest.(option (pair int string))
+    "bumped version misses" None
+    (Cache.find v2 ~kind:"summary" ~key:"k");
+  check
+    Alcotest.(option (pair int string))
+    "stale entry evicted" None
+    (Cache.find v1 ~kind:"summary" ~key:"k")
+
 let () =
   Alcotest.run "wish_experiments"
     [
@@ -90,6 +186,13 @@ let () =
         [
           Alcotest.test_case "caches results" `Quick test_lab_caches_results;
           Alcotest.test_case "baseline is one" `Quick test_normalized_baseline_is_one;
+        ] );
+      ( "parallel",
+        [ Alcotest.test_case "run_batch = serial run" `Slow test_run_batch_matches_serial ] );
+      ( "cache",
+        [
+          Alcotest.test_case "round-trip fidelity" `Slow test_cache_roundtrip;
+          Alcotest.test_case "version invalidation" `Quick test_cache_version_invalidation;
         ] );
       ( "direction",
         [
