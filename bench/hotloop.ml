@@ -2,7 +2,9 @@
    kernels as the Bechamel fig1/fig10/fig14 micro-benchmarks in a
    fixed-count loop and reports ns/run measured with [Sys.time] (process
    CPU time), which stays comparable when other processes pollute the wall
-   clock. Usage: hotloop.exe [ITERS] (default 300). *)
+   clock — plus per-case GC telemetry (minor/major words per run), the
+   before/after yardstick for allocation work on the timing core.
+   Usage: hotloop.exe [--gc-tune] [ITERS] (default 300). *)
 
 let tiny_hammock ~wish =
   let open Wish_isa in
@@ -33,23 +35,38 @@ let tiny_hammock ~wish =
   let data = List.init 256 (fun k -> (64 + k, Wish_util.Rng.int rng 2)) in
   Wish_isa.Program.create ~mem_words:4096 ~data (Wish_isa.Asm.assemble items)
 
+module Gc_stats = Wish_util.Gc_stats
+
 let time_case ~name ~iters ?(config = Wish_sim.Config.default) ~wish () =
   let program = tiny_hammock ~wish in
   let trace, _ = Wish_emu.Trace.generate program in
   for _ = 1 to iters / 10 do
     ignore (Wish_sim.Runner.simulate ~config ~trace program)
   done;
+  let g0 = Gc_stats.snapshot () in
   let t0 = Sys.time () in
   for _ = 1 to iters do
     ignore (Wish_sim.Runner.simulate ~config ~trace program)
   done;
   let dt = Sys.time () -. t0 in
-  Printf.printf "%-8s %10.0f ns/run (cpu)\n%!" name (1e9 *. dt /. float_of_int iters)
+  let g = Gc_stats.diff g0 (Gc_stats.snapshot ()) in
+  let per w = w /. float_of_int iters in
+  Printf.printf "%-8s %10.0f ns/run (cpu)  minor %9.0f w/run  major %8.0f w/run\n%!" name
+    (1e9 *. dt /. float_of_int iters)
+    (per g.minor_words) (per g.major_words)
 
 let () =
-  let iters = try int_of_string Sys.argv.(1) with _ -> 300 in
+  let gc_tune = Array.exists (( = ) "--gc-tune") Sys.argv in
+  let iters =
+    Array.to_seq Sys.argv |> Seq.drop 1
+    |> Seq.find_map (fun a -> int_of_string_opt a)
+    |> Option.value ~default:300
+  in
+  if gc_tune then Gc_stats.tune ();
   time_case ~name:"fig10" ~iters ~wish:true ();
   time_case ~name:"fig14"
     ~config:(Wish_sim.Config.with_rob Wish_sim.Config.default 128)
     ~iters ~wish:true ();
-  time_case ~name:"fig1" ~iters ~wish:false ()
+  time_case ~name:"fig1" ~iters ~wish:false ();
+  Printf.printf "gc: %s; peak RSS %d KiB\n%!" (Gc_stats.summary_line ())
+    (Gc_stats.peak_rss_kb ())

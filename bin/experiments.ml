@@ -10,15 +10,18 @@ module Lab = Wish_experiments.Lab
 module Figures = Wish_experiments.Figures
 module Ablations = Wish_experiments.Ablations
 
-let run names scale verbose benchmarks csv_dir jobs no_cache =
+let run names scale verbose benchmarks csv_dir jobs no_cache gc_tune =
+  if gc_tune then Wish_util.Gc_stats.tune ();
   let cache = if no_cache then None else Some (Wish_experiments.Cache.create ()) in
   let lab =
     Lab.create ~scale ?names:(if benchmarks = [] then None else Some benchmarks) ~jobs ?cache ()
   in
   if verbose then Lab.set_logger lab (fun s -> Fmt.epr "[lab] %s@." s);
-  let catalog = Figures.all @ Ablations.all in
+  (* Named lookup also covers the on-demand extras (scale-sweep); the
+     no-argument run sticks to the default catalog. *)
+  let catalog = Figures.all @ Figures.extras @ Ablations.all in
   let selected =
-    if names = [] then catalog
+    if names = [] then Figures.all @ Ablations.all
     else
       List.map
         (fun n ->
@@ -49,6 +52,10 @@ let run names scale verbose benchmarks csv_dir jobs no_cache =
         close_out oc;
         Fmt.epr "wrote %s@." path)
     selected;
+  if verbose then
+    Fmt.epr "[lab] gc: %s; peak RSS %d KiB@."
+      (Wish_util.Gc_stats.summary_line ())
+      (Wish_util.Gc_stats.peak_rss_kb ());
   Lab.shutdown lab
 
 let cmd =
@@ -69,8 +76,12 @@ let cmd =
   let no_cache =
     Arg.(value & flag & info [ "no-cache" ] ~doc:"Ignore the persistent artifact cache")
   in
+  let gc_tune =
+    Arg.(value & flag
+         & info [ "gc-tune" ] ~doc:"Size the OCaml minor heap for long simulation runs")
+  in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Regenerate the wish-branches paper's tables and figures")
-    Term.(const run $ names $ scale $ verbose $ benchmarks $ csv_dir $ jobs $ no_cache)
+    Term.(const run $ names $ scale $ verbose $ benchmarks $ csv_dir $ jobs $ no_cache $ gc_tune)
 
 let () = exit (Cmd.eval cmd)

@@ -7,7 +7,8 @@
 open Cmdliner
 
 let run bench_name kind_name input scale asm_file rob stages mech_select wish_hw perfect_bp
-    perfect_conf no_depend no_fetch show_stats show_code =
+    perfect_conf no_depend no_fetch streaming gc_tune show_stats show_code =
+  if gc_tune then Wish_util.Gc_stats.tune ();
   let program, bench_label =
     match asm_file with
     | Some path ->
@@ -49,7 +50,8 @@ let run bench_name kind_name input scale asm_file rob stages mech_select wish_hw
       knobs = { perfect_bp; perfect_conf; no_depend; no_fetch };
     }
   in
-  let s = Wish_sim.Runner.simulate ~config program in
+  let trace = if streaming then Some (Wish_emu.Trace.stream program) else None in
+  let s = Wish_sim.Runner.simulate ~config ~streaming ?trace program in
   Fmt.pr "workload      %s (input %s, scale %d)@." bench_label input scale;
   Fmt.pr "binary        %s@." kind_name;
   Fmt.pr "dynamic insts %d@." s.dynamic_insts;
@@ -60,6 +62,13 @@ let run bench_name kind_name input scale asm_file rob stages mech_select wish_hw
     s.mispredicts s.flushes;
   Fmt.pr "caches        L1D %d/%d miss, L2 %d/%d miss, L1I %d/%d miss@." s.mem.l1d_misses
     s.mem.l1d_accesses s.mem.l2_misses s.mem.l2_accesses s.mem.l1i_misses s.mem.l1i_accesses;
+  (match trace with
+  | Some tr ->
+    Fmt.pr "streaming     peak %d resident trace entries (%d-entry chunks); peak RSS %d KiB@."
+      (Wish_emu.Trace.peak_resident_entries tr)
+      (Wish_emu.Trace.chunk_capacity tr)
+      (Wish_util.Gc_stats.peak_rss_kb ())
+  | None -> ());
   if show_stats then Fmt.pr "@.-- raw counters --@.%a" Wish_util.Stats.pp s.stats
 
 let cmd =
@@ -91,12 +100,21 @@ let cmd =
   let pcf = Arg.(value & flag & info [ "perfect-conf" ] ~doc:"Oracle confidence estimation") in
   let nd = Arg.(value & flag & info [ "no-depend" ] ~doc:"Remove predicate data dependencies (oracle)") in
   let nf = Arg.(value & flag & info [ "no-fetch" ] ~doc:"Drop false-predicated uops at fetch (oracle)") in
+  let streaming =
+    Arg.(value & flag
+         & info [ "stream" ]
+             ~doc:"Fuse emulation into simulation through a bounded-memory streaming trace")
+  in
+  let gc_tune =
+    Arg.(value & flag
+         & info [ "gc-tune" ] ~doc:"Size the OCaml minor heap for long simulation runs")
+  in
   let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Dump raw statistics counters") in
   let code = Arg.(value & flag & info [ "code" ] ~doc:"Print the binary's code listing") in
   Cmd.v
     (Cmd.info "wishsim" ~doc:"Cycle-level simulation of wish-branch binaries")
     Term.(
       const run $ bench $ kind $ input $ scale $ asm_file $ rob $ stages $ mech $ wish_hw $ pbp
-      $ pcf $ nd $ nf $ stats $ code)
+      $ pcf $ nd $ nf $ streaming $ gc_tune $ stats $ code)
 
 let () = exit (Cmd.eval cmd)

@@ -3,73 +3,251 @@
     The trace is the emulator's predicate-through execution recorded one
     entry per retired instruction (NOP-guarded entries included). It plays
     the role of the paper's Pin-generated IA-64 traces: the oracle that
-    directs the timing simulator's correct-path fetch. Stored as a struct
-    of arrays to keep multi-million-entry traces cheap. *)
+    directs the timing simulator's correct-path fetch.
+
+    Storage is a sequence of fixed-capacity chunks, each packing one entry
+    into a single 63-bit word (pc, next-pc delta, address, guard/taken
+    bits) — about 3x smaller than the previous struct-of-arrays layout,
+    and growing by appending a chunk instead of copying the whole trace.
+    A trace is either *materialized* (every chunk retained, the classic
+    mode, marshal-safe for the artifact cache) or *streaming*: chunks are
+    generated on demand from a paused emulator and recycled once the
+    consumer {!release}s them, so resident memory stays bounded by the
+    consumer's look-back window however long the run is. *)
 
 open Wish_isa
 
-type t = {
-  mutable len : int;
-  mutable pcs : int array;
-  mutable next_pcs : int array;
-  mutable addrs : int array;
-  mutable flags : Bytes.t; (* bit0 = guard_true, bit1 = taken *)
+(* Packed entry word (63 usable bits):
+     bit  0         guard_true
+     bit  1         taken
+     bit  2         escape: fields live in the chunk's [wide] table
+     bits 3..23     pc                      (21 bits)
+     bits 24..36    next_pc - pc + 4096     (13-bit biased delta)
+     bits 37..62    addr + 1                (26 bits; 0 = no address)
+   Entries whose fields overflow these widths (never the case for our
+   kernel-sized code images, but the format must not silently corrupt)
+   set the escape bit and store the triple in a per-chunk side table. *)
+
+let delta_bias = 4096
+
+let fits ~pc ~next_pc ~addr =
+  pc < 1 lsl 21
+  && (let d = next_pc - pc + delta_bias in
+      d >= 0 && d < 1 lsl 13)
+  && addr >= -1
+  && addr + 1 < 1 lsl 26
+
+let pack ~guard_true ~taken ~pc ~next_pc ~addr =
+  (if guard_true then 1 else 0)
+  lor (if taken then 2 else 0)
+  lor (pc lsl 3)
+  lor ((next_pc - pc + delta_bias) lsl 24)
+  lor ((addr + 1) lsl 37)
+
+type chunk = {
+  mutable base : int; (* absolute index of entry 0 *)
+  mutable clen : int;
+  words : int array; (* fixed capacity; reused across recycles *)
+  wide : (int, int * int * int) Hashtbl.t; (* abs index -> pc, next_pc, addr *)
 }
 
-let create () =
-  let n = 1 lsl 16 in
+(* The paused emulator a streaming trace pulls entries from. A concrete
+   record (not a closure) so that a *finished* trace — the only kind the
+   artifact cache stores — contains nothing Marshal rejects. *)
+type gen = { g_state : State.t; g_code : Code.t; g_fuel : int }
+
+type t = {
+  cbits : int;
+  cmask : int;
+  retain : bool; (* materialized: never recycle chunks *)
+  mutable total : int; (* entries generated so far *)
+  mutable dir : chunk array; (* slot k holds chunk index dir_base + k *)
+  mutable dir_base : int;
+  mutable ndir : int;
+  mutable free : chunk list; (* recycled buffers awaiting reuse *)
+  mutable gen : gen option; (* None once the emulator halted *)
+  mutable peak : int; (* peak resident entries *)
+}
+
+let default_chunk_bits = 15
+
+let dummy_chunk = { base = -1; clen = 0; words = [||]; wide = Hashtbl.create 1 }
+
+let create ?(chunk_bits = default_chunk_bits) ?(hint = 0) ~retain ~gen () =
+  let csize = 1 lsl chunk_bits in
+  let dir_cap = max 4 ((hint + csize - 1) / csize) in
   {
-    len = 0;
-    pcs = Array.make n 0;
-    next_pcs = Array.make n 0;
-    addrs = Array.make n (-1);
-    flags = Bytes.make n '\000';
+    cbits = chunk_bits;
+    cmask = csize - 1;
+    retain;
+    total = 0;
+    dir = Array.make dir_cap dummy_chunk;
+    dir_base = 0;
+    ndir = 0;
+    free = [];
+    gen;
+    peak = 0;
   }
 
-let grow t =
-  let n = Array.length t.pcs in
-  let n' = n * 2 in
-  let extend a fill =
-    let a' = Array.make n' fill in
-    Array.blit a 0 a' 0 n;
-    a'
-  in
-  t.pcs <- extend t.pcs 0;
-  t.next_pcs <- extend t.next_pcs 0;
-  t.addrs <- extend t.addrs (-1);
-  let f = Bytes.make n' '\000' in
-  Bytes.blit t.flags 0 f 0 n;
-  t.flags <- f
+let length t = t.total
+let finished t = t.gen = None
+let is_streaming t = not t.retain
+let chunk_capacity t = t.cmask + 1
+
+let resident_entries t = t.total - (t.dir_base lsl t.cbits)
+let peak_resident_entries t = t.peak
+
+(* Retained buffer footprint in words, directory and free list included. *)
+let resident_words t =
+  ((t.ndir + List.length t.free) * (t.cmask + 1)) + Array.length t.dir
+
+let fresh_chunk t base =
+  match t.free with
+  | c :: rest ->
+    t.free <- rest;
+    c.base <- base;
+    c.clen <- 0;
+    if Hashtbl.length c.wide > 0 then Hashtbl.reset c.wide;
+    c
+  | [] ->
+    { base; clen = 0; words = Array.make (t.cmask + 1) 0; wide = Hashtbl.create 0 }
+
+let append_chunk t =
+  if t.ndir = Array.length t.dir then begin
+    let bigger = Array.make (2 * t.ndir) dummy_chunk in
+    Array.blit t.dir 0 bigger 0 t.ndir;
+    t.dir <- bigger
+  end;
+  let c = fresh_chunk t t.total in
+  t.dir.(t.ndir) <- c;
+  t.ndir <- t.ndir + 1;
+  c
 
 let push t (s : Exec.step) =
-  if t.len = Array.length t.pcs then grow t;
-  let i = t.len in
-  t.pcs.(i) <- s.pc;
-  t.next_pcs.(i) <- s.next_pc;
-  t.addrs.(i) <- s.addr;
-  Bytes.unsafe_set t.flags i
-    (Char.chr ((if s.guard_true then 1 else 0) lor if s.taken then 2 else 0));
-  t.len <- i + 1
+  let i = t.total in
+  let c = if i land t.cmask = 0 then append_chunk t else t.dir.(t.ndir - 1) in
+  let w =
+    if fits ~pc:s.pc ~next_pc:s.next_pc ~addr:s.addr then
+      pack ~guard_true:s.guard_true ~taken:s.taken ~pc:s.pc ~next_pc:s.next_pc ~addr:s.addr
+    else begin
+      Hashtbl.replace c.wide i (s.pc, s.next_pc, s.addr);
+      (if s.guard_true then 1 else 0) lor (if s.taken then 2 else 0) lor 4
+    end
+  in
+  c.words.(i land t.cmask) <- w;
+  c.clen <- c.clen + 1;
+  t.total <- i + 1;
+  let res = resident_entries t in
+  if res > t.peak then t.peak <- res
 
-let length t = t.len
-let pc t i = t.pcs.(i)
-let next_pc t i = t.next_pcs.(i)
-let addr t i = t.addrs.(i)
-let guard_true t i = Char.code (Bytes.unsafe_get t.flags i) land 1 <> 0
-let taken t i = Char.code (Bytes.unsafe_get t.flags i) land 2 <> 0
+(* ----------------------------------------------------------------- *)
+(* Accessors                                                          *)
+(* ----------------------------------------------------------------- *)
+
+let chunk_of t i =
+  let k = (i lsr t.cbits) - t.dir_base in
+  if i < 0 || i >= t.total || k < 0 then
+    invalid_arg
+      (Printf.sprintf "Trace: index %d outside retained window [%d, %d)" i
+         (t.dir_base lsl t.cbits) t.total);
+  Array.unsafe_get t.dir k
+
+let word t i = Array.unsafe_get (chunk_of t i).words (i land t.cmask)
+
+let guard_true t i = word t i land 1 <> 0
+let taken t i = word t i land 2 <> 0
+
+(* Single-field decoders: no intermediate tuple on the oracle's
+   per-entry scan path. *)
+
+let pc t i =
+  let c = chunk_of t i in
+  let w = Array.unsafe_get c.words (i land t.cmask) in
+  if w land 4 = 0 then (w lsr 3) land 0x1FFFFF
+  else
+    let p, _, _ = Hashtbl.find c.wide i in
+    p
+
+let next_pc t i =
+  let c = chunk_of t i in
+  let w = Array.unsafe_get c.words (i land t.cmask) in
+  if w land 4 = 0 then ((w lsr 3) land 0x1FFFFF) + ((w lsr 24) land 0x1FFF) - delta_bias
+  else
+    let _, n, _ = Hashtbl.find c.wide i in
+    n
+
+let addr t i =
+  let c = chunk_of t i in
+  let w = Array.unsafe_get c.words (i land t.cmask) in
+  if w land 4 = 0 then ((w lsr 37) land 0x3FFFFFF) - 1
+  else
+    let _, _, a = Hashtbl.find c.wide i in
+    a
+
+(* ----------------------------------------------------------------- *)
+(* Generation                                                         *)
+(* ----------------------------------------------------------------- *)
 
 exception Out_of_fuel = Exec.Out_of_fuel
 
-(** [generate ?fuel program] runs the emulator in predicate-through mode and
-    records the trace. Returns the trace and the final architectural state
-    (whose {!State.outcome} must equal the architectural-mode outcome — a
-    property the test suite checks). *)
-let generate ?(fuel = 200_000_000) program =
-  let st = State.create program in
-  let code = Program.code program in
-  let t = create () in
-  while not st.halted do
-    if st.retired >= fuel then raise (Out_of_fuel fuel);
-    push t (Exec.step Exec.Predicate_through code st)
+(** [ensure t i] makes entry [i] available, pulling the streaming emulator
+    forward as needed; [false] means the trace ends before [i]. *)
+let ensure t i =
+  if i < t.total then true
+  else
+    match t.gen with
+    | None -> false
+    | Some g ->
+      let st = g.g_state in
+      while t.total <= i && not st.State.halted do
+        if st.retired >= g.g_fuel then raise (Out_of_fuel g.g_fuel);
+        push t (Exec.step Exec.Predicate_through g.g_code st)
+      done;
+      if st.halted then t.gen <- None;
+      i < t.total
+
+(** [release t i] declares every entry below [i] dead: the consumer will
+    never look at them again (not even through a misprediction-recovery
+    rewind). Streaming traces recycle the chunks they fully cover;
+    materialized traces ignore the call. *)
+let release t i =
+  if not t.retain then
+    while t.ndir > 1 && (t.dir_base + 1) lsl t.cbits <= i do
+      let dead = t.dir.(0) in
+      Array.blit t.dir 1 t.dir 0 (t.ndir - 1);
+      t.ndir <- t.ndir - 1;
+      t.dir.(t.ndir) <- dummy_chunk;
+      t.dir_base <- t.dir_base + 1;
+      t.free <- dead :: t.free
+    done
+
+let default_fuel = 200_000_000
+
+let mk_gen ?(fuel = default_fuel) program =
+  { g_state = State.create program; g_code = Program.code program; g_fuel = fuel }
+
+(** [generate ?fuel ?hint program] runs the emulator in predicate-through
+    mode to completion and records the materialized trace. [hint] (an
+    approximate dynamic length, e.g. {!Wish_workloads.Bench} knows one)
+    pre-sizes the chunk directory. Returns the trace and the final
+    architectural state (whose {!State.outcome} must equal the
+    architectural-mode outcome — a property the test suite checks). *)
+let generate ?fuel ?hint program =
+  let g = mk_gen ?fuel program in
+  let t = create ?hint ~retain:true ~gen:(Some g) () in
+  while not g.g_state.State.halted do
+    if g.g_state.retired >= g.g_fuel then raise (Out_of_fuel g.g_fuel);
+    push t (Exec.step Exec.Predicate_through g.g_code g.g_state)
   done;
-  (t, st)
+  t.gen <- None;
+  (* A finished materialized trace may be marshalled into the artifact
+     cache: drop any recycled buffers so they are not serialized. *)
+  t.free <- [];
+  (t, g.g_state)
+
+(** [stream ?fuel ?chunk_bits program] — a lazily generated trace whose
+    chunks are recycled as the consumer {!release}s them. [chunk_bits]
+    sizes chunks at [2^chunk_bits] entries (tests shrink it to force
+    entries of interest across chunk boundaries). *)
+let stream ?fuel ?chunk_bits program =
+  create ?chunk_bits ~retain:false ~gen:(Some (mk_gen ?fuel program)) ()

@@ -3,22 +3,77 @@
     A trace is the emulator's predicate-through execution recorded one
     entry per retired instruction (guard-false NOP entries included). It
     plays the role of the paper's Pin-generated IA-64 traces: the oracle
-    that directs the timing simulator's correct-path fetch. Stored as a
-    struct of arrays so multi-million-entry traces stay cheap. *)
+    that directs the timing simulator's correct-path fetch.
+
+    Entries live in fixed-capacity chunks, one packed 63-bit word per
+    entry (pc, next-pc delta, address, guard/taken bits — out-of-range
+    fields escape to a side table), so multi-million-entry traces stay
+    cheap and growth never copies. Two flavours share the type:
+
+    - {!generate} builds a *materialized* trace: every chunk retained,
+      random access over the whole run, marshal-safe (cacheable).
+    - {!stream} builds a *streaming* trace: chunks are generated on
+      demand from a paused emulator ({!ensure}) and recycled once the
+      consumer declares them dead ({!release}), keeping resident memory
+      bounded by the consumer's look-back window at any run length. *)
 
 type t
 
+(** Entries generated so far (the full dynamic length once {!finished}). *)
 val length : t -> int
+
+(** The emulator behind this trace has halted: {!length} is final. *)
+val finished : t -> bool
+
+(** [false] for {!generate}d traces, [true] for {!stream}ed ones. *)
+val is_streaming : t -> bool
+
+(** Accessors. Raise [Invalid_argument] outside the retained window —
+    call {!ensure} first when reading near the generation frontier. *)
+
 val pc : t -> int -> int
+
 val next_pc : t -> int -> int
 val addr : t -> int -> int
 val guard_true : t -> int -> bool
 val taken : t -> int -> bool
 
+(** [ensure t i] makes entry [i] available, pulling the streaming
+    emulator forward as needed; [false] means the trace ends before [i].
+    Constant-time on materialized traces. *)
+val ensure : t -> int -> bool
+
+(** [release t i] declares every entry below [i] dead — the consumer
+    will never read them again, not even through a misprediction-recovery
+    rewind. Streaming traces recycle the chunks this fully covers;
+    materialized traces ignore the call. *)
+val release : t -> int -> unit
+
+(** Entries per chunk (the {!release} granularity). *)
+val chunk_capacity : t -> int
+
+(** Entries currently resident, and the high-water mark over the trace's
+    lifetime — the bounded-memory guarantee is [peak_resident_entries]
+    staying independent of {!length} for streamed runs. *)
+
+val resident_entries : t -> int
+
+val peak_resident_entries : t -> int
+
+(** Approximate retained buffer footprint in memory words. *)
+val resident_words : t -> int
+
 exception Out_of_fuel of int
 
-(** [generate ?fuel program] runs the emulator in predicate-through mode
-    and records the trace. Returns the trace and the final architectural
-    state (whose {!State.outcome} equals the architectural-mode outcome —
-    a property the test suite checks). *)
-val generate : ?fuel:int -> Wish_isa.Program.t -> t * State.t
+(** [generate ?fuel ?hint program] runs the emulator in predicate-through
+    mode to completion and records the materialized trace. [hint] — an
+    approximate dynamic length ({!Wish_workloads.Bench} supplies one) —
+    pre-sizes the chunk directory. Returns the trace and the final
+    architectural state (whose {!State.outcome} equals the
+    architectural-mode outcome — a property the test suite checks). *)
+val generate : ?fuel:int -> ?hint:int -> Wish_isa.Program.t -> t * State.t
+
+(** [stream ?fuel ?chunk_bits program] — lazy bounded-memory trace over
+    the same execution; [chunk_bits] sizes chunks at [2^chunk_bits]
+    entries (default 15; tests shrink it to force chunk crossings). *)
+val stream : ?fuel:int -> ?chunk_bits:int -> Wish_isa.Program.t -> t

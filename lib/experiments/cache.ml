@@ -2,7 +2,10 @@
 
 type t = { root : string; version : int }
 
-let format_version = 1
+(* Bump whenever a marshalled payload's in-memory type changes shape
+   (v2: chunked packed trace representation). Stale entries self-evict
+   via the header check. *)
+let format_version = 2
 
 let default_dir () =
   match Sys.getenv_opt "WISH_CACHE_DIR" with Some d when d <> "" -> d | _ -> "_wishcache"

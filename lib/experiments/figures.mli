@@ -29,6 +29,12 @@ val fig16 : Lab.t -> Wish_util.Table.t
 val table4 : Lab.t -> Wish_util.Table.t
 val table5 : Lab.t -> Wish_util.Table.t
 
+(** Scale sweep: the wish-jjl headline at scales 1/10/100 through the
+    streaming pipeline, with per-scale uPC, mispredict rate, peak
+    trace-resident entries, and process peak RSS. On-demand only (see
+    {!extras}) — runtime grows linearly with scale. *)
+val scale_sweep : Lab.t -> Wish_util.Table.t
+
 (** [bar_jobs lab bars] — every benchmark × every bar, as prewarm jobs. *)
 val bar_jobs : Lab.t -> bar list -> Lab.job list
 
@@ -37,7 +43,12 @@ val bar_jobs : Lab.t -> bar list -> Lab.job list
     worker domains before the generator renders the table serially. *)
 val jobs_for : string -> Lab.t -> Lab.job list
 
-(** All artifacts by id: fig1, fig2, fig10–fig16, tab4, tab5. *)
+(** All default artifacts by id: fig1, fig2, fig10–fig16, tab4, tab5. *)
 val all : (string * (Lab.t -> Wish_util.Table.t)) list
 
+(** Artifacts runnable by name but excluded from the default
+    everything-run: scale-sweep. *)
+val extras : (string * (Lab.t -> Wish_util.Table.t)) list
+
+(** Looks up [all] then [extras]. *)
 val find : string -> (Lab.t -> Wish_util.Table.t) option

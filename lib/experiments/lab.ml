@@ -118,7 +118,8 @@ let trace t ~bench:name ~kind ~input =
         t.log (Printf.sprintf "cache hit: trace %s/%s input %s" name kind_n input);
         tr
       | None ->
-        let tr, _ = Wish_emu.Trace.generate (program t ~bench:name ~kind ~input) in
+        let hint = (bench t name).approx_dyn_insts in
+        let tr, _ = Wish_emu.Trace.generate ~hint (program t ~bench:name ~kind ~input) in
         store_trace t ckey tr;
         tr
     in
@@ -260,10 +261,12 @@ let run_batch t jobs =
       List.map
         (fun (name, kind_n, kind, input) ->
           t.log (Printf.sprintf "tracing %s/%s input %s" name kind_n input);
-          program t ~bench:name ~kind ~input)
+          ((bench t name).approx_dyn_insts, program t ~bench:name ~kind ~input))
         trace_todo
     in
-    let generated = pmap t (fun p -> fst (Wish_emu.Trace.generate p)) programs in
+    let generated =
+      pmap t (fun (hint, p) -> fst (Wish_emu.Trace.generate ~hint p)) programs
+    in
     List.iter2
       (fun (name, kind_n, _, input) tr ->
         Hashtbl.replace t.traces (name, kind_n, input) tr;

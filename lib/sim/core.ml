@@ -135,6 +135,12 @@ type t = {
   mutable halted : bool;
   mutable last_retire_cycle : int;
   mem_words : int;
+  (* µop free pools (plain / branch-carrying): retired and squashed µops
+     are reinitialized instead of reallocated, so steady-state fetch
+     allocates nothing. Pool occupancy is bounded by the maximum number
+     of µops ever in flight (ROB + fetch queue). *)
+  mutable pool_plain : Uop.t list;
+  mutable pool_branch : Uop.t list;
 }
 
 let create config (program : Program.t) trace =
@@ -170,6 +176,8 @@ let create config (program : Program.t) trace =
     halted = false;
     last_retire_cycle = 0;
     mem_words = program.mem_words;
+    pool_plain = [];
+    pool_branch = [];
   }
 
 let fresh_id t =
@@ -199,29 +207,61 @@ let uop_path_of = function
   | F_phantom -> Uop.Phantom
   | F_stopped -> assert false
 
+(* Acquire a µop from the matching pool (or allocate its one-time
+   skeleton) and reinitialize every field under a fresh id. *)
 let make_uop t ~pc ~(inst : Inst.t) ~path ~guard_false ~guard_forwarded ~byte_addr
-    ~consumes_trace ~is_select ~is_pair_compute ~br =
-  {
-    Uop.id = fresh_id t;
-    pc;
-    inst;
-    path;
-    exec_class = exec_class_of inst;
-    byte_addr;
-    guard_false;
-    guard_forwarded;
-    is_select;
-    is_pair_compute;
-    consumes_trace;
-    mode_at_fetch = Wish_fsm.mode t.fsm;
-    br;
-    fetch_cycle = t.cycle;
-    pending = 0;
-    waiters = [];
-    state = Uop.Waiting;
-    flushed = false;
-    complete_cycle = -1;
-  }
+    ~consumes_trace ~is_select ~is_pair_compute ~trace_idx ~branch =
+  let u =
+    if branch then (
+      match t.pool_branch with
+      | u :: rest ->
+        t.pool_branch <- rest;
+        u
+      | [] -> Uop.fresh ~branch:true)
+    else
+      match t.pool_plain with
+      | u :: rest ->
+        t.pool_plain <- rest;
+        u
+      | [] -> Uop.fresh ~branch:false
+  in
+  u.Uop.id <- fresh_id t;
+  u.pc <- pc;
+  u.inst <- inst;
+  u.path <- path;
+  u.exec_class <- exec_class_of inst;
+  u.byte_addr <- byte_addr;
+  u.guard_false <- guard_false;
+  u.guard_forwarded <- guard_forwarded;
+  u.is_select <- is_select;
+  u.is_pair_compute <- is_pair_compute;
+  u.consumes_trace <- consumes_trace;
+  u.mode_at_fetch <- Wish_fsm.mode t.fsm;
+  u.trace_idx <- trace_idx;
+  u.fetch_cycle <- t.cycle;
+  u.pending <- 0;
+  u.nwaiters <- 0;
+  u.state <- Uop.Waiting;
+  u.flushed <- false;
+  u.complete_cycle <- -1;
+  u
+
+(* Return a dead µop (retired, or squashed by a flush) to its pool. Stale
+   references in the ready heap, the event wheel, and producers' waiter
+   arrays hold only its now-dead id, which can no longer match anything
+   in [in_flight]; the storage is safe to reuse under a fresh id at once.
+   The predictor records are dropped eagerly; the RAT checkpoint buffer
+   is kept for {!Rat.copy_into} at the next incarnation's rename. *)
+let recycle t (u : Uop.t) =
+  match u.Uop.br with
+  | None -> t.pool_plain <- u :: t.pool_plain
+  | Some b ->
+    b.lookup <- None;
+    b.snapshot <- None;
+    t.pool_branch <- u :: t.pool_branch
+
+let trace_idx_of (entry : Oracle.entry option) =
+  match entry with Some e -> e.index | None -> -1
 
 (* Decide the fetch-time facts of a branch: prediction, wish-mode
    transition, RAS and BTB effects. Returns the µop, the followed
@@ -347,39 +387,35 @@ let fetch_branch t ~pc ~(inst : Inst.t) ~path ~(entry : Oracle.entry option) =
     end
     else 0
   in
-  let br =
-    {
-      Uop.predicted_taken = final_dir;
-      predicted_target;
-      actual_taken;
-      actual_next;
-      lookup;
-      snapshot;
-      ras_top;
-      cursor_next = Oracle.cursor t.oracle;
-      fetch_mode =
-        (* Attribute a wish branch to the mode its own confidence estimate
-           selected, even when a transition (e.g. immediate loop exit)
-           moved the FSM on (paper Section 3.5.4, footnote 7). *)
-        (match conf_high with
-        | Some true -> Uop.High_conf
-        | Some false -> Uop.Low_conf
-        | None -> Wish_fsm.mode t.fsm);
-      conf_high;
-      conf_history;
-      wish_kind = (if is_wish_hw then kind else None);
-      is_return = (match inst.op with Inst.Return -> true | _ -> false);
-      loop_gen;
-      rat_ckpt = None;
-      resolved = false;
-      loop_class = Uop.Lc_none;
-    }
-  in
   let uop =
     make_uop t ~pc ~inst ~path:(uop_path_of path) ~guard_false ~guard_forwarded:false
-      ~byte_addr:(-1) ~consumes_trace:(entry <> None) ~is_select:false
-      ~is_pair_compute:false ~br:(Some br)
+      ~byte_addr:(-1) ~consumes_trace:(entry <> None) ~trace_idx:(trace_idx_of entry)
+      ~is_select:false ~is_pair_compute:false ~branch:true
   in
+  let b = match uop.Uop.br with Some b -> b | None -> assert false in
+  b.predicted_taken <- final_dir;
+  b.predicted_target <- predicted_target;
+  b.actual_taken <- actual_taken;
+  b.actual_next <- actual_next;
+  b.lookup <- lookup;
+  b.snapshot <- snapshot;
+  b.ras_top <- ras_top;
+  b.cursor_next <- Oracle.cursor t.oracle;
+  (* Attribute a wish branch to the mode its own confidence estimate
+     selected, even when a transition (e.g. immediate loop exit) moved
+     the FSM on (paper Section 3.5.4, footnote 7). *)
+  b.fetch_mode <-
+    (match conf_high with
+    | Some true -> Uop.High_conf
+    | Some false -> Uop.Low_conf
+    | None -> Wish_fsm.mode t.fsm);
+  b.conf_high <- conf_high;
+  b.conf_history <- conf_history;
+  b.wish_kind <- (if is_wish_hw then kind else None);
+  b.is_return <- (match inst.op with Inst.Return -> true | _ -> false);
+  b.loop_gen <- loop_gen;
+  b.resolved <- false;
+  b.loop_class <- Uop.Lc_none;
   (uop, final_dir, predicted_target, btb_bubble, actual_taken)
 
 (* µop-translate a non-branch instruction; may yield two µops under the
@@ -438,19 +474,20 @@ let translate_plain t ~pc ~(inst : Inst.t) ~path ~(entry : Oracle.entry option) 
        the computed and old values once the guard resolves. *)
     let compute =
       make_uop t ~pc ~inst ~path:(uop_path_of path) ~guard_false ~guard_forwarded:false
-        ~byte_addr ~consumes_trace:consumes ~is_select:false ~is_pair_compute:true
-        ~br:None
+        ~byte_addr ~consumes_trace:consumes ~trace_idx:(trace_idx_of entry)
+        ~is_select:false ~is_pair_compute:true ~branch:false
     in
     let select =
       make_uop t ~pc ~inst ~path:(uop_path_of path) ~guard_false ~guard_forwarded:false
-        ~byte_addr ~consumes_trace:false ~is_select:true ~is_pair_compute:false ~br:None
+        ~byte_addr ~consumes_trace:false ~trace_idx:(trace_idx_of entry) ~is_select:true
+        ~is_pair_compute:false ~branch:false
     in
     [ compute; select ]
   | Config.Select_uop | Config.C_style ->
     [
       make_uop t ~pc ~inst ~path:(uop_path_of path) ~guard_false ~guard_forwarded
-        ~byte_addr ~consumes_trace:consumes ~is_select:false ~is_pair_compute:false
-        ~br:None;
+        ~byte_addr ~consumes_trace:consumes ~trace_idx:(trace_idx_of entry)
+        ~is_select:false ~is_pair_compute:false ~branch:false;
     ]
 
 (* The fetch-to-rename delay line has one latch per stage: when rename
@@ -607,7 +644,7 @@ let add_dependency t (u : Uop.t) producer_id =
   if producer_id >= 0 then
     match Hashtbl.find t.in_flight producer_id with
     | p when p.Uop.state <> Uop.Done ->
-      p.waiters <- u.id :: p.waiters;
+      Uop.add_waiter p u.id;
       u.pending <- u.pending + 1
     | _ | (exception Not_found) -> ()
 
@@ -699,7 +736,12 @@ let rename_uop t (u : Uop.t) ~select_producer =
     (match Inst.int_dest inst with Some d -> Rat.set_int t.rat d u.id | None -> ());
     List.iter (fun p -> Rat.set_pred t.rat p u.id) (Inst.pred_dests inst)
   end;
-  (match u.br with Some b -> b.rat_ckpt <- Some (Rat.snapshot t.rat) | None -> ());
+  (match u.br with
+  | Some b -> (
+    match b.rat_ckpt with
+    | Some s -> Rat.copy_into t.rat s (* reuse the pooled checkpoint buffer *)
+    | None -> b.rat_ckpt <- Some (Rat.snapshot t.rat))
+  | None -> ());
   track_store t u;
   Ring.push t.rob u;
   incr t.hot.c_renamed;
@@ -821,7 +863,8 @@ let recover t (u : Uop.t) =
     (fun g ->
       (* Only the not-yet-renamed suffix is still in the front end. *)
       for i = Array.length g.uops - 1 downto g.next do
-        undo_speculative t g.uops.(i)
+        undo_speculative t g.uops.(i);
+        recycle t g.uops.(i)
       done)
     (List.rev feq_groups);
   Queue.clear t.feq;
@@ -835,7 +878,8 @@ let recover t (u : Uop.t) =
         d.flushed <- true;
         undo_speculative t d;
         untrack_store t d;
-        Hashtbl.remove t.in_flight d.id)
+        Hashtbl.remove t.in_flight d.id;
+        recycle t d)
       (List.rev dropped));
   (* Repair this branch's own history with the actual outcome. *)
   (match b.snapshot with
@@ -905,15 +949,14 @@ let complete_uop t (u : Uop.t) =
   u.state <- Uop.Done;
   let stores_completed = u.exec_class = Uop.Ec_store in
   if stores_completed then untrack_store t u;
-  List.iter
-    (fun wid ->
-      match Hashtbl.find t.in_flight wid with
-      | w when (not w.Uop.flushed) && w.state = Uop.Waiting ->
-        w.pending <- w.pending - 1;
-        if w.pending = 0 then mark_ready t w
-      | _ | (exception Not_found) -> ())
-    u.waiters;
-  u.waiters <- [];
+  for k = 0 to u.nwaiters - 1 do
+    match Hashtbl.find t.in_flight u.waiters.(k) with
+    | w when (not w.Uop.flushed) && w.state = Uop.Waiting ->
+      w.pending <- w.pending - 1;
+      if w.pending = 0 then mark_ready t w
+    | _ | (exception Not_found) -> ()
+  done;
+  u.nwaiters <- 0;
   if Uop.is_branch_uop u && not u.flushed then resolve_branch t u
 
 let process_events t =
@@ -1021,7 +1064,14 @@ let retire_stage t =
       | Some _ | None -> ());
       (match u.inst.op with
       | Inst.Halt when u.path = Uop.Correct -> t.halted <- true
-      | _ -> ())
+      | _ -> ());
+      (* Retirement is the trace's low-water mark: every in-flight branch
+         is younger than [u], so it was fetched after [u] consumed entry
+         [u.trace_idx] — its recovery cursor, and any future oracle scan,
+         sits at or above [u.trace_idx + 1]. A streaming trace may
+         therefore recycle everything below that. *)
+      if u.trace_idx >= 0 then Oracle.release t.oracle ~below:(u.trace_idx + 1);
+      recycle t u
     | Some _ | None -> continue := false
   done
 

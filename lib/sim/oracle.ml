@@ -5,7 +5,12 @@
     possibly after skipping entries whose guard is FALSE (architectural
     NOPs — exactly the instructions a predicted-taken wish jump/join legally
     jumps over). A failure to match means the front end has left the
-    correct path. *)
+    correct path.
+
+    The trace may be streaming: the cursor pulls it forward ({!Trace.ensure})
+    as it scans, and {!release} hands retirement-time progress back so the
+    trace can recycle chunks the pipeline can no longer reach, even through
+    a misprediction-recovery {!restore}. *)
 
 open Wish_emu
 
@@ -21,7 +26,7 @@ let create code trace = { code; trace; cursor = 0; skip_limit = 4096 }
 let cursor t = t.cursor
 let restore t c = t.cursor <- c
 let length t = Trace.length t.trace
-let exhausted t = t.cursor >= Trace.length t.trace
+let exhausted t = not (Trace.ensure t.trace t.cursor)
 
 type entry = { index : int; guard_true : bool; taken : bool; next_pc : int; addr : int }
 
@@ -44,10 +49,9 @@ let skippable t i =
 (** [consume t ~pc] tries to match [pc] against the trace, advancing the
     cursor past the matched entry on success. *)
 let consume t ~pc =
-  let n = Trace.length t.trace in
-  let stop = min n (t.cursor + t.skip_limit) in
+  let stop = t.cursor + t.skip_limit in
   let rec scan i =
-    if i >= stop then None
+    if i >= stop || not (Trace.ensure t.trace i) then None
     else if Trace.pc t.trace i = pc then begin
       t.cursor <- i + 1;
       Some (entry_at t i)
@@ -56,6 +60,11 @@ let consume t ~pc =
     else None
   in
   scan t.cursor
+
+(** [release t ~below] — retirement-time progress report: no restore or
+    scan will ever revisit entries below [below] (see the retirement
+    argument in {!Core}), so a streaming trace may recycle them. *)
+let release t ~below = Trace.release t.trace below
 
 (** [peek_pc t] is the next correct-path PC, if any (diagnostics only). *)
 let peek_pc t = if exhausted t then None else Some (Trace.pc t.trace t.cursor)

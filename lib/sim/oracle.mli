@@ -15,8 +15,15 @@ val cursor : t -> int
 (** [restore t c] rewinds the cursor at misprediction recovery. *)
 val restore : t -> int -> unit
 
+(** Trace entries generated so far (total length once the stream ends). *)
 val length : t -> int
+
 val exhausted : t -> bool
+
+(** [release t ~below] — retirement-time progress: no restore or scan
+    will ever revisit entries below [below], so a streaming trace may
+    recycle the chunks they occupy. No-op on materialized traces. *)
+val release : t -> below:int -> unit
 
 type entry = { index : int; guard_true : bool; taken : bool; next_pc : int; addr : int }
 

@@ -19,6 +19,12 @@ let set_pred t p id = if p <> Reg.p0 then t.pred_map.(p) <- id
 
 let snapshot t = { s_int = Array.copy t.int_map; s_pred = Array.copy t.pred_map }
 
+(* Refill an existing checkpoint buffer (branch µops keep theirs across
+   pool recycles, so steady-state checkpointing allocates nothing). *)
+let copy_into t s =
+  Array.blit t.int_map 0 s.s_int 0 (Array.length t.int_map);
+  Array.blit t.pred_map 0 s.s_pred 0 (Array.length t.pred_map)
+
 let restore t s =
   Array.blit s.s_int 0 t.int_map 0 (Array.length t.int_map);
   Array.blit s.s_pred 0 t.pred_map 0 (Array.length t.pred_map)

@@ -18,4 +18,9 @@ val set_int : t -> Wish_isa.Reg.ireg -> int -> unit
 
 val set_pred : t -> Wish_isa.Reg.preg -> int -> unit
 val snapshot : t -> snapshot
+
+(** [copy_into t s] refills an existing checkpoint buffer in place —
+    {!snapshot} without the allocation. *)
+val copy_into : t -> snapshot -> unit
+
 val restore : t -> snapshot -> unit

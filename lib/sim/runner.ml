@@ -34,17 +34,27 @@ let summarize core =
     mem = Core.hier_stats core;
   }
 
-(** [simulate ?config ?trace program] — [trace] may be supplied to reuse a
-    previously generated trace for the same program. *)
-let simulate ?(config = Config.default) ?trace (program : Wish_isa.Program.t) =
+(** [simulate ?config ?streaming ?trace program] — [trace] may be
+    supplied to reuse a previously generated trace for the same program.
+    [streaming] (default [false]) fuses emulation into simulation: the
+    oracle pulls trace chunks on demand and retirement recycles them, so
+    peak trace-resident memory is bounded by the pipeline's look-back
+    window instead of the dynamic instruction count. Both paths produce
+    identical summaries (the test suite checks this). *)
+let simulate ?(config = Config.default) ?(streaming = false) ?trace
+    (program : Wish_isa.Program.t) =
   let trace =
     match trace with
     | Some t -> t
     | None ->
-      let t, _final = Wish_emu.Trace.generate program in
-      t
+      if streaming then Wish_emu.Trace.stream program
+      else
+        let t, _final = Wish_emu.Trace.generate program in
+        t
   in
   let core = Core.create config program trace in
   ignore (Core.run core);
   let s = summarize core in
+  (* A streamed trace has been pulled through its final entry by the time
+     the core retires Halt, so [length] is the full dynamic count here too. *)
   { s with dynamic_insts = Wish_emu.Trace.length trace }

@@ -15,7 +15,14 @@ type summary = {
   mem : Wish_mem.Hierarchy.stats;
 }
 
-(** [simulate ?config ?trace program] — pass [trace] to reuse a previously
-    generated trace for the same program. *)
+(** [simulate ?config ?streaming ?trace program] — pass [trace] to reuse
+    a previously generated trace for the same program, or [~streaming:true]
+    to fuse emulation into simulation through a bounded-memory streaming
+    trace (identical summary, peak trace residency independent of run
+    length). *)
 val simulate :
-  ?config:Config.t -> ?trace:Wish_emu.Trace.t -> Wish_isa.Program.t -> summary
+  ?config:Config.t ->
+  ?streaming:bool ->
+  ?trace:Wish_emu.Trace.t ->
+  Wish_isa.Program.t ->
+  summary

@@ -4,7 +4,12 @@
     architectural register to the sequence number of its youngest
     in-flight producer; a µop's sources are the producer ids it must wait
     for — the same dependence timing as a physical register file, without
-    managing one. *)
+    managing one.
+
+    Fields are mutable because dead µops are pooled and reinitialized by
+    {!Core} rather than reallocated. Identity lives in [id]: fresh and
+    monotone per (re)initialization, so stale ids held by schedulers miss
+    the in-flight table once a µop is recycled. *)
 
 type path =
   | Correct  (** matches the oracle trace *)
@@ -21,42 +26,46 @@ type state = Waiting | In_ready_queue | Issued | Done
 type loop_class = Lc_none | Lc_early | Lc_late | Lc_no_exit
 
 type branch_rec = {
-  predicted_taken : bool;
-  predicted_target : int;
-  actual_taken : bool;  (** oracle direction; = predicted for wrong-path *)
-  actual_next : int;  (** architectural successor pc *)
-  lookup : Wish_bpred.Hybrid.lookup option;  (** present iff predictor consulted *)
-  snapshot : Wish_bpred.Hybrid.snapshot option;  (** history undo record *)
-  ras_top : int;
-  cursor_next : int;  (** oracle cursor right after this branch *)
-  fetch_mode : mode;
-  conf_high : bool option;  (** Some for wish branches under wish hardware *)
-  conf_history : int;  (** global history at fetch, for JRS training *)
-  wish_kind : Wish_isa.Inst.branch_kind option;  (** None for jump/call/return *)
-  is_return : bool;
-  loop_gen : int;  (** wish-loop visit generation at fetch *)
-  mutable rat_ckpt : Rat.snapshot option;  (** filled at rename *)
+  mutable predicted_taken : bool;
+  mutable predicted_target : int;
+  mutable actual_taken : bool;  (** oracle direction; = predicted for wrong-path *)
+  mutable actual_next : int;  (** architectural successor pc *)
+  mutable lookup : Wish_bpred.Hybrid.lookup option;
+      (** present iff predictor consulted *)
+  mutable snapshot : Wish_bpred.Hybrid.snapshot option;  (** history undo record *)
+  mutable ras_top : int;
+  mutable cursor_next : int;  (** oracle cursor right after this branch *)
+  mutable fetch_mode : mode;
+  mutable conf_high : bool option;  (** Some for wish branches under wish hardware *)
+  mutable conf_history : int;  (** global history at fetch, for JRS training *)
+  mutable wish_kind : Wish_isa.Inst.branch_kind option;  (** None for jump/call/return *)
+  mutable is_return : bool;
+  mutable loop_gen : int;  (** wish-loop visit generation at fetch *)
+  mutable rat_ckpt : Rat.snapshot option;  (** filled at rename; buffer reused *)
   mutable resolved : bool;
   mutable loop_class : loop_class;
 }
 
 type t = {
-  id : int;
-  pc : int;
-  inst : Wish_isa.Inst.t;
-  path : path;
-  exec_class : exec_class;
-  byte_addr : int;  (** memory byte address, or -1 *)
-  guard_false : bool;  (** oracle: this µop is an architectural NOP *)
-  guard_forwarded : bool;  (** predicate-dependency elimination applied *)
-  is_select : bool;  (** the select µop of the select-µop mechanism *)
-  is_pair_compute : bool;  (** the computation half of a select-µop pair *)
-  consumes_trace : bool;  (** retiring advances the completion count *)
-  mode_at_fetch : mode;
+  mutable id : int;
+  mutable pc : int;
+  mutable inst : Wish_isa.Inst.t;
+  mutable path : path;
+  mutable exec_class : exec_class;
+  mutable byte_addr : int;  (** memory byte address, or -1 *)
+  mutable guard_false : bool;  (** oracle: this µop is an architectural NOP *)
+  mutable guard_forwarded : bool;  (** predicate-dependency elimination applied *)
+  mutable is_select : bool;  (** the select µop of the select-µop mechanism *)
+  mutable is_pair_compute : bool;  (** the computation half of a select-µop pair *)
+  mutable consumes_trace : bool;  (** retiring advances the completion count *)
+  mutable mode_at_fetch : mode;
+  mutable trace_idx : int;  (** oracle trace entry consumed at fetch, or -1 *)
   br : branch_rec option;
-  fetch_cycle : int;
+      (** pooled identity: [Some] forever on branch µops, [None] on plain ones *)
+  mutable fetch_cycle : int;
   mutable pending : int;  (** outstanding producers *)
-  mutable waiters : int list;  (** µop ids to wake on completion *)
+  mutable waiters : int array;  (** µop ids to wake on completion... *)
+  mutable nwaiters : int;  (** ...the first [nwaiters] slots are live *)
   mutable state : state;
   mutable flushed : bool;
   mutable complete_cycle : int;
@@ -68,3 +77,12 @@ val is_wish : t -> bool
 (** [mispredicted b] — followed direction wrong, or (returns) target
     wrong. *)
 val mispredicted : branch_rec -> bool
+
+(** [add_waiter u id] appends [id] to [u]'s waiter array (amortized
+    allocation-free: the array persists across the µop's recycles). *)
+val add_waiter : t -> int -> unit
+
+(** [fresh ~branch] — a blank µop for the pool's first allocation; every
+    field is reinitialized before use. [branch] decides whether it carries
+    a (likewise blank) [branch_rec]. *)
+val fresh : branch:bool -> t

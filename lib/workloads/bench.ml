@@ -16,6 +16,9 @@ type t = {
   inputs : input list; (* conventionally A, B, C *)
   profile_input : string; (* label of the training input *)
   mem_words : int;
+  approx_dyn_insts : int;
+      (* rough dynamic instruction count at this scale: a size hint that
+         pre-sizes trace storage (exactness does not matter) *)
 }
 
 let input t label =

@@ -16,6 +16,9 @@ type t = {
   inputs : input list;  (** conventionally A, B, C *)
   profile_input : string;  (** label of the training input *)
   mem_words : int;
+  approx_dyn_insts : int;
+      (** rough dynamic instruction count at this scale — a trace
+          pre-sizing hint, exactness does not matter *)
 }
 
 (** [input t label] — raises [Invalid_argument] for unknown labels. *)

@@ -104,4 +104,5 @@ let bench ~scale =
       ];
     profile_input = "B";
     mem_words = 1 lsl 16;
+    approx_dyn_insts = 140_000 * scale;
   }

@@ -94,4 +94,5 @@ let bench ~scale =
       ];
     profile_input = "B";
     mem_words = 1 lsl 20;
+    approx_dyn_insts = 35_000 * scale;
   }

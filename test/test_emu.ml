@@ -250,6 +250,91 @@ let test_trace_wish_loop_keeps_semantics () =
   (* Wish loops are NOT linearized: the backward branch is followed. *)
   Alcotest.(check bool) "trace longer than code" true (Trace.length tr > 8)
 
+(* Streaming ------------------------------------------------------------------ *)
+
+(* Nested variable-trip wish loop: dense in control flow so that, with
+   16-entry chunks, branches and their targets land on opposite sides of
+   chunk boundaries all over the trace. *)
+let streaming_workload ~iters =
+  Program.create ~mem_words:64
+    (Asm.assemble
+       Asm.[
+         movi 3 0;
+         label "outer";
+         alu Inst.And 5 3 (Inst.Imm 3);
+         alu Inst.Add 5 5 (Inst.Imm 1);
+         pset 1 true;
+         label "body";
+         alu ~guard:1 Inst.Add 4 4 (Inst.Reg 5);
+         alu ~guard:1 Inst.Sub 5 5 (Inst.Imm 1);
+         cmp ~guard:1 Inst.Gt 1 5 (Inst.Imm 0);
+         wish_loop ~guard:1 "body";
+         store 4 0 7;
+         alu Inst.Add 3 3 (Inst.Imm 1);
+         cmp Inst.Lt 1 3 (Inst.Imm iters);
+         br ~guard:1 "outer";
+         halt;
+       ])
+
+(* Drive a streamed trace like the simulator's oracle does: advance with
+   [ensure], retire a bounded look-back behind the frontier with
+   [release]. Returns (length, peak resident entries). *)
+let drain ?(lookback = 32) ?(compare_to = None) s =
+  let i = ref 0 in
+  while Trace.ensure s !i do
+    let j = !i in
+    (match compare_to with
+    | Some m ->
+      if
+        Trace.pc m j <> Trace.pc s j
+        || Trace.next_pc m j <> Trace.next_pc s j
+        || Trace.addr m j <> Trace.addr s j
+        || Trace.guard_true m j <> Trace.guard_true s j
+        || Trace.taken m j <> Trace.taken s j
+      then Alcotest.failf "streamed entry %d differs from materialized" j
+    | None -> ());
+    if j land 15 = 0 then Trace.release s (max 0 (j - lookback));
+    incr i
+  done;
+  (!i, Trace.peak_resident_entries s)
+
+let test_stream_entries_match_materialized () =
+  let p = streaming_workload ~iters:200 in
+  let m, _ = Trace.generate p in
+  let s = Trace.stream ~chunk_bits:4 p in
+  let len, _ = drain ~compare_to:(Some m) s in
+  check Alcotest.int "same length" (Trace.length m) len;
+  Alcotest.(check bool) "stream finished" true (Trace.finished s);
+  check Alcotest.int "length is final" (Trace.length m) (Trace.length s)
+
+let test_stream_lookback_window_stays_readable () =
+  let p = streaming_workload ~iters:50 in
+  let m, _ = Trace.generate p in
+  let s = Trace.stream ~chunk_bits:4 p in
+  let i = ref 0 in
+  while Trace.ensure s !i do
+    Trace.release s (max 0 (!i - 20));
+    (* Anything at or above the release point must still read back
+       correctly, chunk boundaries notwithstanding. *)
+    let back = max 0 (!i - 20) in
+    if Trace.pc s back <> Trace.pc m back then Alcotest.failf "look-back entry %d lost" back;
+    incr i
+  done;
+  Alcotest.(check bool) "dead chunks recycled" true
+    (Trace.resident_entries s < Trace.length s)
+
+let test_stream_bounded_memory () =
+  let run iters = drain (Trace.stream ~chunk_bits:4 (streaming_workload ~iters)) in
+  let len1, peak1 = run 100 in
+  let len8, peak8 = run 800 in
+  Alcotest.(check bool) "8x run really is longer" true (len8 > 7 * len1);
+  (* Same consumer window, same chunking: the high-water mark must not
+     depend on run length... *)
+  check Alcotest.int "peak independent of length" peak1 peak8;
+  (* ...and must stay within the window-derived cap: look-back (32) plus
+     the frontier chunk plus release's one-chunk hysteresis. *)
+  Alcotest.(check bool) "peak within window cap" true (peak8 <= 32 + (3 * 16))
+
 (* Profiling ----------------------------------------------------------------- *)
 
 let test_profile_counts () =
@@ -313,6 +398,14 @@ let () =
             test_trace_predicate_through_equivalence;
           Alcotest.test_case "linearizes wish regions" `Quick test_trace_linearizes_wish_region;
           Alcotest.test_case "wish loops keep semantics" `Quick test_trace_wish_loop_keeps_semantics;
+        ] );
+      ( "streaming",
+        [
+          Alcotest.test_case "entries match materialized" `Quick
+            test_stream_entries_match_materialized;
+          Alcotest.test_case "look-back window readable" `Quick
+            test_stream_lookback_window_stays_readable;
+          Alcotest.test_case "bounded memory" `Quick test_stream_bounded_memory;
         ] );
       ( "profile",
         [

@@ -228,6 +228,65 @@ let test_no_depend_not_slower () =
   let ideal = simulate ~config ~data:coin_data (predicated_kernel ~iters:400) in
   Alcotest.(check bool) "removing dependencies cannot hurt" true (ideal.cycles <= base.cycles)
 
+(* Streaming pipeline ---------------------------------------------------------- *)
+
+let summary_fields (s : Runner.summary) =
+  [ s.cycles; s.dynamic_insts; s.retired_uops; s.retired_phantom; s.mispredicts; s.flushes ]
+
+let simulate_streaming ?(config = Config.default) ?chunk_bits ?data ?(mem_words = 1 lsl 14)
+    items =
+  let program = Program.create ~mem_words ?data (Asm.assemble items) in
+  let trace = Wish_emu.Trace.stream ?chunk_bits program in
+  (Runner.simulate ~config ~trace program, trace)
+
+(* Every wish flavour the kernels cover: normal branches (flush-recovery
+   rewinds), wish jump/join (predicate-through regions), and wish loops
+   (phantom injection past the real trip count). *)
+let streaming_cases =
+  [
+    ("normal hammock", hammock_kernel ~wish:false ~iters:400, coin_data);
+    ("wish hammock", hammock_kernel ~wish:true ~iters:400, coin_data);
+    ("normal loop", wish_loop_kernel ~wish:false ~iters:300, trip_data);
+    ("wish loop", wish_loop_kernel ~wish:true ~iters:300, trip_data);
+  ]
+
+let test_streaming_matches_materialized () =
+  List.iter
+    (fun (name, items, data) ->
+      let m = simulate ~data items in
+      let s, _ = simulate_streaming ~data items in
+      Alcotest.(check (list int)) name (summary_fields m) (summary_fields s))
+    streaming_cases
+
+let test_streaming_tiny_chunks_match () =
+  (* 16-entry chunks: branches straddle chunk boundaries, misprediction
+     recovery rewinds across them, and wish-loop phantoms span chunks. *)
+  List.iter
+    (fun (name, items, data) ->
+      let m = simulate ~data items in
+      let s, _ = simulate_streaming ~chunk_bits:4 ~data items in
+      Alcotest.(check (list int)) name (summary_fields m) (summary_fields s))
+    streaming_cases
+
+let test_streaming_bounded_residency () =
+  let run iters =
+    let s, trace =
+      simulate_streaming ~chunk_bits:6 ~data:coin_data (hammock_kernel ~wish:true ~iters)
+    in
+    (s.dynamic_insts, Wish_emu.Trace.peak_resident_entries trace)
+  in
+  let len1, peak1 = run 2000 in
+  let len4, peak4 = run 8000 in
+  Alcotest.(check bool) "4x run really is longer" true (len4 > 3 * len1);
+  (* The simulator's look-back window is its instruction window: entries
+     release as uops retire, so peak residency is capped by ROB size (a
+     trace entry per in-flight uop, plus the guard-false entries fetch
+     consumes without occupying a slot) plus chunk-granularity slack —
+     and is independent of trace length. *)
+  let cap = (2 * Config.default.rob_size) + (4 * 64) in
+  Alcotest.(check bool) "peak within window-derived cap" true (peak4 <= cap);
+  Alcotest.(check bool) "peak independent of length" true (abs (peak4 - peak1) <= 2 * 64)
+
 (* Select-µop mechanism ------------------------------------------------------------ *)
 
 let test_select_uop_expands () =
@@ -280,6 +339,12 @@ let () =
         [
           Alcotest.test_case "no-fetch" `Quick test_no_fetch_drops_false_uops;
           Alcotest.test_case "no-depend" `Quick test_no_depend_not_slower;
+        ] );
+      ( "streaming",
+        [
+          Alcotest.test_case "matches materialized" `Quick test_streaming_matches_materialized;
+          Alcotest.test_case "tiny chunks match" `Quick test_streaming_tiny_chunks_match;
+          Alcotest.test_case "bounded residency" `Quick test_streaming_bounded_residency;
         ] );
       ("select", [ Alcotest.test_case "select-uop expands" `Quick test_select_uop_expands ]);
       ("icache", [ Alcotest.test_case "cold stall" `Quick test_icache_cold_stalls_counted ]);
