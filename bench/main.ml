@@ -25,6 +25,7 @@ module Ablations = Wish_experiments.Ablations
 let regenerate ~scale ~jobs ~use_cache names =
   let cache = if use_cache then Some (Wish_experiments.Cache.create ()) else None in
   let lab = Lab.create ~scale ~jobs ?cache () in
+  Fun.protect ~finally:(fun () -> Lab.shutdown lab) @@ fun () ->
   Lab.set_logger lab (fun s -> Printf.eprintf "[lab] %s\n%!" s);
   let catalog = Figures.all @ Ablations.all in
   let selected =
@@ -50,8 +51,7 @@ let regenerate ~scale ~jobs ~use_cache names =
       | _ -> assert false (* figure and ablation ids are disjoint *));
       Wish_util.Table.print (f lab);
       Printf.printf "(%s regenerated in %.1fs)\n\n%!" name (Unix.gettimeofday () -. t0))
-    selected;
-  Lab.shutdown lab
+    selected
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: the mechanism behind each artifact        *)

@@ -1,24 +1,28 @@
 (** experiments — regenerate the paper's tables and figures.
 
     Examples:
-      experiments                 # everything
-      experiments fig10 fig12     # selected artifacts
-      experiments --scale 2 -v    # bigger runs, with progress logging *)
+      experiments                    # everything
+      experiments fig10 fig12        # selected artifacts
+      experiments --scale 2 -v       # bigger runs, with progress logging
+      experiments --timeout 120 --retries 3 --keep-going
+      experiments --resume           # skip jobs journaled by an interrupted run
+      experiments cache verify       # integrity-check _wishcache/
+      experiments cache prune        # evict stale entries, quarantine corrupt ones *)
 
 open Cmdliner
 module Lab = Wish_experiments.Lab
 module Figures = Wish_experiments.Figures
 module Ablations = Wish_experiments.Ablations
+module Cache = Wish_experiments.Cache
 
-let run names scale verbose benchmarks csv_dir jobs no_cache gc_tune =
+let run names scale verbose benchmarks csv_dir jobs no_cache gc_tune timeout retries keep_going
+    resume =
+  Wish_util.Faultpoint.arm_from_env ();
   if gc_tune then Wish_util.Gc_stats.tune ();
-  let cache = if no_cache then None else Some (Wish_experiments.Cache.create ()) in
-  let lab =
-    Lab.create ~scale ?names:(if benchmarks = [] then None else Some benchmarks) ~jobs ?cache ()
-  in
-  if verbose then Lab.set_logger lab (fun s -> Fmt.epr "[lab] %s@." s);
-  (* Named lookup also covers the on-demand extras (scale-sweep); the
-     no-argument run sticks to the default catalog. *)
+  (* Resolve the artifact selection before spawning any worker domain, so
+     a typo cannot leak a pool. Named lookup also covers the on-demand
+     extras (scale-sweep); the no-argument run sticks to the default
+     catalog. *)
   let catalog = Figures.all @ Figures.extras @ Ablations.all in
   let selected =
     if names = [] then Figures.all @ Ablations.all
@@ -33,32 +37,138 @@ let run names scale verbose benchmarks csv_dir jobs no_cache gc_tune =
             exit 2)
         names
   in
-  List.iter
-    (fun (name, f) ->
-      (match (Figures.jobs_for name lab, Ablations.jobs_for name lab) with
-      | [], [] -> ()
-      | js, [] | [], js -> Lab.prewarm lab js
-      | _ -> assert false);
-      let table = f lab in
-      Wish_util.Table.print table;
-      print_newline ();
-      match csv_dir with
-      | None -> ()
-      | Some dir ->
-        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-        let path = Filename.concat dir (name ^ ".csv") in
-        let oc = open_out path in
-        output_string oc (Wish_util.Table.to_csv table);
-        close_out oc;
-        Fmt.epr "wrote %s@." path)
-    selected;
-  if verbose then
-    Fmt.epr "[lab] gc: %s; peak RSS %d KiB@."
-      (Wish_util.Gc_stats.summary_line ())
-      (Wish_util.Gc_stats.peak_rss_kb ());
-  Lab.shutdown lab
+  let policy = { Lab.default_policy with timeout; retries; keep_going } in
+  let cache = if no_cache then None else Some (Cache.create ()) in
+  let lab =
+    Lab.create ~scale ?names:(if benchmarks = [] then None else Some benchmarks) ~jobs ?cache
+      ~resume ()
+  in
+  if verbose then Lab.set_logger lab (fun s -> Fmt.epr "[lab] %s@." s);
+  if resume then
+    Fmt.epr "[lab] resume: %d completed job(s) journaled in %s@." (Lab.journaled_jobs lab)
+      (match cache with Some c -> Cache.dir c | None -> "(no cache)");
+  (* SIGINT drains gracefully: the handler only flips an atomic flag; the
+     batch finishes its in-flight pool round, raises [Interrupted] on the
+     coordinating domain, and the [Fun.protect] below joins the workers.
+     Finished jobs are already in the cache and the journal. *)
+  Sys.set_signal Sys.sigint
+    (Sys.Signal_handle
+       (fun _ ->
+         Fmt.epr "@.[lab] interrupt: draining in-flight jobs (re-run with --resume to continue)@.";
+         Lab.request_stop lab));
+  let code =
+    Fun.protect
+      ~finally:(fun () -> Lab.shutdown lab)
+      (fun () ->
+        try
+          List.iter
+            (fun (name, f) ->
+              let jobs_for =
+                match (Figures.jobs_for name lab, Ablations.jobs_for name lab) with
+                | [], [] -> []
+                | js, [] | [], js -> js
+                | _ -> assert false
+              in
+              match
+                if jobs_for <> [] then Lab.prewarm ~policy lab jobs_for;
+                f lab
+              with
+              | exception Lab.Job_failed fl ->
+                Fmt.epr "[lab] %s skipped: %a@." name Lab.pp_failure fl;
+                if not keep_going then raise (Lab.Job_failed fl)
+              | table ->
+                Wish_util.Table.print table;
+                print_newline ();
+                (match csv_dir with
+                | None -> ()
+                | Some dir ->
+                  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+                  let path = Filename.concat dir (name ^ ".csv") in
+                  let oc = open_out path in
+                  output_string oc (Wish_util.Table.to_csv table);
+                  close_out oc;
+                  Fmt.epr "wrote %s@." path))
+            selected;
+          let st = Lab.batch_stats lab in
+          if verbose || st.retried > 0 || st.failed > 0 then
+            Fmt.epr "[lab] supervision: %d task(s) executed, %d retried, %d failed, %d cache hit(s), %d resumed@."
+              st.executed st.retried st.failed st.cache_hits st.resumed;
+          if verbose then
+            Fmt.epr "[lab] gc: %s; peak RSS %d KiB@."
+              (Wish_util.Gc_stats.summary_line ())
+              (Wish_util.Gc_stats.peak_rss_kb ());
+          if st.failed > 0 then 1 else 0
+        with
+        | Lab.Interrupted ->
+          let st = Lab.batch_stats lab in
+          Fmt.epr "[lab] interrupted: journal has the completed jobs (%d cache hit(s) this run); re-run with --resume@."
+            st.cache_hits;
+          130
+        | Lab.Job_failed fl ->
+          Fmt.epr "[lab] fatal: %a (use --keep-going to continue past failures)@." Lab.pp_failure
+            fl;
+          1)
+  in
+  if code <> 0 then exit code
 
-let cmd =
+(* ----------------------------------------------------------------- *)
+(* cache verify / cache prune                                         *)
+(* ----------------------------------------------------------------- *)
+
+let status_label = function
+  | Cache.Entry_ok -> "ok"
+  | Cache.Entry_stale v -> Printf.sprintf "stale (format v%d)" v
+  | Cache.Entry_corrupt reason -> Printf.sprintf "CORRUPT: %s" reason
+
+let cache_verify dir quiet =
+  let cache = Cache.create ?dir () in
+  let entries = Cache.scan cache in
+  let count pred = List.length (List.filter (fun (_, s) -> pred s) entries) in
+  let ok = count (function Cache.Entry_ok -> true | _ -> false) in
+  let stale = count (function Cache.Entry_stale _ -> true | _ -> false) in
+  let corrupt = count (function Cache.Entry_corrupt _ -> true | _ -> false) in
+  if not quiet then
+    List.iter
+      (fun (rel, s) ->
+        match s with Cache.Entry_ok -> () | s -> Fmt.pr "%-48s %s@." rel (status_label s))
+      entries;
+  Fmt.pr "%s: %d entr%s ok, %d stale, %d corrupt@." (Cache.dir cache) ok
+    (if ok = 1 then "y" else "ies")
+    stale corrupt;
+  if corrupt > 0 then exit 1
+
+let cache_prune dir =
+  let cache = Cache.create ?dir () in
+  let r = Cache.prune cache in
+  Fmt.pr "%s: kept %d, evicted %d stale, quarantined %d corrupt (see %s)@." (Cache.dir cache)
+    r.kept r.evicted_stale r.quarantined (Cache.quarantine_dir cache)
+
+let cache_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "dir" ] ~doc:"Cache directory (default: \\$WISH_CACHE_DIR or _wishcache)")
+
+let cache_cmd =
+  let verify =
+    let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only print the summary line") in
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:"Scan every cache entry's version header and integrity footer; exit 1 if any is corrupt")
+      Term.(const cache_verify $ cache_dir_arg $ quiet)
+  in
+  let prune =
+    Cmd.v
+      (Cmd.info "prune"
+         ~doc:"Evict stale-format entries and move corrupt ones to the quarantine directory")
+      Term.(const cache_prune $ cache_dir_arg)
+  in
+  Cmd.group (Cmd.info "cache" ~doc:"Inspect and maintain the persistent artifact cache")
+    [ verify; prune ]
+
+(* ----------------------------------------------------------------- *)
+(* CLI                                                                *)
+(* ----------------------------------------------------------------- *)
+
+let run_term =
   let names = Arg.(value & pos_all string [] & info [] ~docv:"ARTIFACT") in
   let scale = Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Workload scale factor") in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log compilation/simulation progress") in
@@ -80,8 +190,41 @@ let cmd =
     Arg.(value & flag
          & info [ "gc-tune" ] ~doc:"Size the OCaml minor heap for long simulation runs")
   in
-  Cmd.v
-    (Cmd.info "experiments" ~doc:"Regenerate the wish-branches paper's tables and figures")
-    Term.(const run $ names $ scale $ verbose $ benchmarks $ csv_dir $ jobs $ no_cache $ gc_tune)
+  let timeout =
+    Arg.(value & opt (some float) None
+         & info [ "timeout" ]
+             ~doc:"Per-job wall-clock budget in seconds; an overrunning job is retried, then reported")
+  in
+  let retries =
+    Arg.(value & opt int Lab.default_policy.retries
+         & info [ "retries" ] ~doc:"Extra attempts for a failed or timed-out job")
+  in
+  let keep_going =
+    Arg.(value & flag
+         & info [ "keep-going" ]
+             ~doc:"Report failed jobs and continue with the remaining artifacts (default: fail fast)")
+  in
+  let resume =
+    Arg.(value & flag
+         & info [ "resume" ]
+             ~doc:"Load the completion journal and skip jobs finished by an earlier (interrupted) run")
+  in
+  Term.(
+    const run $ names $ scale $ verbose $ benchmarks $ csv_dir $ jobs $ no_cache $ gc_tune
+    $ timeout $ retries $ keep_going $ resume)
 
-let () = exit (Cmd.eval cmd)
+let cmd =
+  Cmd.v (Cmd.info "experiments" ~doc:"Regenerate the wish-branches paper's tables and figures")
+    run_term
+
+(* Artifact ids are free-form positionals ("experiments fig10 tab5"), so
+   the maintenance subcommands cannot live in a [Cmd.group] (the group
+   would claim every first positional). Dispatch on the literal "cache"
+   and hand the rest of the line to its own command tree. *)
+let () =
+  let argv = Sys.argv in
+  if Array.length argv > 1 && argv.(1) = "cache" then
+    exit
+      (Cmd.eval ~argv:(Array.append [| argv.(0) |] (Array.sub argv 2 (Array.length argv - 2)))
+         cache_cmd)
+  else exit (Cmd.eval cmd)

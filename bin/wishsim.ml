@@ -5,71 +5,76 @@
       wishsim -b mcf -k base-max --no-wish-hardware --rob 128 --stats *)
 
 open Cmdliner
+module Lab = Wish_experiments.Lab
 
 let run bench_name kind_name input scale asm_file rob stages mech_select wish_hw perfect_bp
     perfect_conf no_depend no_fetch streaming gc_tune show_stats show_code =
+  Wish_util.Faultpoint.arm_from_env ();
   if gc_tune then Wish_util.Gc_stats.tune ();
-  let program, bench_label =
-    match asm_file with
-    | Some path ->
-      let p = try Wish_isa.Parse.program_of_file path with
-        | Wish_isa.Parse.Parse_error { line; message } ->
-          Fmt.epr "%s:%d: %s@." path line message;
-          exit 2
-      in
-      (p, path)
-    | None ->
-      let bench = Wish_workloads.Workloads.find ~scale bench_name in
-      let kind =
-        match
-          List.find_opt
-            (fun k -> Wish_compiler.Policy.kind_name k = kind_name)
-            Wish_compiler.Compiler.all_kinds
-        with
-        | Some k -> k
+  (* Workload mode compiles through a (serial) Lab; every exit path —
+     including parse/lookup errors below — must release it, hence the
+     [Fun.protect]. *)
+  let lab = ref None in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Lab.shutdown !lab)
+    (fun () ->
+      let program, bench_label =
+        match asm_file with
+        | Some path ->
+          let p = try Wish_isa.Parse.program_of_file path with
+            | Wish_isa.Parse.Parse_error { line; message } ->
+              Fmt.epr "%s:%d: %s@." path line message;
+              exit 2
+          in
+          (p, path)
         | None ->
-          Fmt.epr "unknown binary kind %s@." kind_name;
-          exit 2
+          let kind =
+            match
+              List.find_opt
+                (fun k -> Wish_compiler.Policy.kind_name k = kind_name)
+                Wish_compiler.Compiler.all_kinds
+            with
+            | Some k -> k
+            | None ->
+              Fmt.epr "unknown binary kind %s@." kind_name;
+              exit 2
+          in
+          let l = Lab.create ~scale ~names:[ bench_name ] () in
+          lab := Some l;
+          (Lab.program l ~bench:bench_name ~kind ~input, bench_name)
       in
-      let bins =
-        Wish_compiler.Compiler.compile_all ~mem_words:bench.mem_words ~name:bench.name
-          ~profile_data:(Wish_workloads.Bench.profile_data bench) bench.ast
+      if show_code then Fmt.pr "%a@." Wish_isa.Code.pp (Wish_isa.Program.code program);
+      let config =
+        let open Wish_sim.Config in
+        let c = with_rob default rob in
+        let c = with_pipeline_stages c stages in
+        {
+          c with
+          mech = (if mech_select then Select_uop else C_style);
+          wish_hardware = wish_hw;
+          knobs = { perfect_bp; perfect_conf; no_depend; no_fetch };
+        }
       in
-      (Wish_workloads.Bench.program_for bench (Wish_compiler.Compiler.binary bins kind) input,
-       bench.name)
-  in
-  if show_code then Fmt.pr "%a@." Wish_isa.Code.pp (Wish_isa.Program.code program);
-  let config =
-    let open Wish_sim.Config in
-    let c = with_rob default rob in
-    let c = with_pipeline_stages c stages in
-    {
-      c with
-      mech = (if mech_select then Select_uop else C_style);
-      wish_hardware = wish_hw;
-      knobs = { perfect_bp; perfect_conf; no_depend; no_fetch };
-    }
-  in
-  let trace = if streaming then Some (Wish_emu.Trace.stream program) else None in
-  let s = Wish_sim.Runner.simulate ~config ~streaming ?trace program in
-  Fmt.pr "workload      %s (input %s, scale %d)@." bench_label input scale;
-  Fmt.pr "binary        %s@." kind_name;
-  Fmt.pr "dynamic insts %d@." s.dynamic_insts;
-  Fmt.pr "retired uops  %d (+%d phantom)@." s.retired_uops s.retired_phantom;
-  Fmt.pr "cycles        %d@." s.cycles;
-  Fmt.pr "uPC           %.3f@." s.upc;
-  Fmt.pr "branches      %d cond retired, %d mispredicted, %d flushes@." s.cond_branches
-    s.mispredicts s.flushes;
-  Fmt.pr "caches        L1D %d/%d miss, L2 %d/%d miss, L1I %d/%d miss@." s.mem.l1d_misses
-    s.mem.l1d_accesses s.mem.l2_misses s.mem.l2_accesses s.mem.l1i_misses s.mem.l1i_accesses;
-  (match trace with
-  | Some tr ->
-    Fmt.pr "streaming     peak %d resident trace entries (%d-entry chunks); peak RSS %d KiB@."
-      (Wish_emu.Trace.peak_resident_entries tr)
-      (Wish_emu.Trace.chunk_capacity tr)
-      (Wish_util.Gc_stats.peak_rss_kb ())
-  | None -> ());
-  if show_stats then Fmt.pr "@.-- raw counters --@.%a" Wish_util.Stats.pp s.stats
+      let trace = if streaming then Some (Wish_emu.Trace.stream program) else None in
+      let s = Wish_sim.Runner.simulate ~config ~streaming ?trace program in
+      Fmt.pr "workload      %s (input %s, scale %d)@." bench_label input scale;
+      Fmt.pr "binary        %s@." kind_name;
+      Fmt.pr "dynamic insts %d@." s.dynamic_insts;
+      Fmt.pr "retired uops  %d (+%d phantom)@." s.retired_uops s.retired_phantom;
+      Fmt.pr "cycles        %d@." s.cycles;
+      Fmt.pr "uPC           %.3f@." s.upc;
+      Fmt.pr "branches      %d cond retired, %d mispredicted, %d flushes@." s.cond_branches
+        s.mispredicts s.flushes;
+      Fmt.pr "caches        L1D %d/%d miss, L2 %d/%d miss, L1I %d/%d miss@." s.mem.l1d_misses
+        s.mem.l1d_accesses s.mem.l2_misses s.mem.l2_accesses s.mem.l1i_misses s.mem.l1i_accesses;
+      (match trace with
+      | Some tr ->
+        Fmt.pr "streaming     peak %d resident trace entries (%d-entry chunks); peak RSS %d KiB@."
+          (Wish_emu.Trace.peak_resident_entries tr)
+          (Wish_emu.Trace.chunk_capacity tr)
+          (Wish_util.Gc_stats.peak_rss_kb ())
+      | None -> ());
+      if show_stats then Fmt.pr "@.-- raw counters --@.%a" Wish_util.Stats.pp s.stats)
 
 let cmd =
   let bench =

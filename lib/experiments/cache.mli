@@ -1,16 +1,36 @@
-(** Persistent, content-addressed artifact cache for the experiment lab.
+(** Persistent, content-addressed, crash-safe artifact cache for the
+    experiment lab.
 
     Entries live one-per-file under a cache directory, named by the MD5
     digest of a caller-supplied key string (bench name, binary kind,
     input, scale, machine-configuration digest, …). Values are stored
-    with [Marshal] behind a versioned header: bumping the format version
-    turns every existing entry into a miss (the stale file is deleted on
-    the way, never deserialized), which is the invalidation story when
-    the simulator/compiler change what the cached values mean.
+    with [Marshal] between a versioned header and an integrity footer
+    recording the payload's MD5 and byte length:
 
-    Writes are atomic (temp file + rename), so a crashed or concurrent
-    run can at worst waste work, not corrupt the cache. Reads of
-    corrupted or truncated entries degrade to misses. *)
+    - bumping the format version turns every existing entry into a miss
+      (the stale file is deleted on the way, never deserialized) — the
+      invalidation story when the simulator/compiler change what the
+      cached values mean;
+    - a corrupt or truncated entry (torn write, bit flip, short read)
+      fails the footer check {e before} any payload byte is
+      deserialized; the file is moved to [<dir>/quarantine/] for
+      inspection and the lookup degrades to a miss, so the value is
+      transparently recomputed.
+
+    Writes go through a uniquely named temp file (pid + process-global
+    counter) and an atomic [rename], so crashed or concurrent writers —
+    including two domains of one process racing on the same key — can at
+    worst waste work: readers only ever observe a complete entry.
+
+    The cache also hosts a small append-only {e journal} of completed
+    job keys ({!journal_append}/{!journal_load}) that lets an
+    interrupted batch resume and skip finished work; lines are
+    version-stamped and checksummed like entries, and a line torn by a
+    crash is skipped on load and newline-terminated by the next append.
+
+    Chaos-test injection sites: [cache.write.torn],
+    [cache.write.corrupt], [cache.journal.torn]
+    (see {!Wish_util.Faultpoint}). *)
 
 type t
 
@@ -29,10 +49,15 @@ val create : ?dir:string -> ?version:int -> unit -> t
 
 val dir : t -> string
 
+(** [<dir>/quarantine] — where corrupt entries are moved on detection. *)
+val quarantine_dir : t -> string
+
 (** [find t ~kind ~key] — look up the value stored under [(kind, key)].
-    Unsafe in the [Marshal] sense: the caller must read back the same
-    type it stored, which the version stamp plus content-addressed keys
-    enforce in practice. *)
+    Returns [None] (after evicting or quarantining the file) for
+    stale-version, torn, or checksum-failing entries. Unsafe in the
+    [Marshal] sense: the caller must read back the same type it stored,
+    which the version stamp plus content-addressed keys enforce in
+    practice. *)
 val find : t -> kind:string -> key:string -> 'a option
 
 (** [store t ~kind ~key v] — persist [v] under [(kind, key)],
@@ -40,9 +65,44 @@ val find : t -> kind:string -> key:string -> 'a option
     that cannot write behaves like a cache that forgets. *)
 val store : t -> kind:string -> key:string -> 'a -> unit
 
-(** Remove every entry (the directory itself is kept). *)
+(** Remove every entry (the directory itself is kept). Also removes the
+    journal and any quarantined files. *)
 val clear : t -> unit
 
 (** [digest_of v] — hex MD5 of [v]'s marshalled bytes; used to fold
     structured values (e.g. {!Wish_sim.Config.t}) into key strings. *)
 val digest_of : 'a -> string
+
+(** {1 Completion journal} *)
+
+(** [<dir>/journal.log]. *)
+val journal_path : t -> string
+
+(** Append a completed-job key (version-stamped, crash-tolerant). *)
+val journal_append : t -> string -> unit
+
+(** The set of journaled keys written under the current format version;
+    torn and stale lines are skipped. *)
+val journal_load : t -> (string, unit) Hashtbl.t
+
+(** Delete the journal. *)
+val journal_clear : t -> unit
+
+(** {1 Maintenance} *)
+
+(** Integrity verdict for one on-disk entry ({!scan}/{!prune}). *)
+type status =
+  | Entry_ok
+  | Entry_stale of int  (** written by this other format version *)
+  | Entry_corrupt of string  (** human-readable reason *)
+
+(** [scan t] — classify every entry file (path relative to the root,
+    sorted) by header and footer checks alone; nothing is deserialized
+    and nothing on disk is modified. *)
+val scan : t -> (string * status) list
+
+type prune_report = { kept : int; evicted_stale : int; quarantined : int }
+
+(** [prune t] — {!scan}, then delete stale-version entries and move
+    corrupt ones to the quarantine. *)
+val prune : t -> prune_report

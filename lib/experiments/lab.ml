@@ -17,10 +17,82 @@
       bit-identical to the serial path;
     - an optional persistent {!Cache}: traces and summaries are looked up
       by (bench, kind, input, scale[, config]) before being recomputed and
-      stored after, making repeated runs incremental across processes. *)
+      stored after, making repeated runs incremental across processes.
+
+    Fault tolerance ({!policy}): every batched stage runs under
+    supervision — a job that raises (or whose worker domain dies; the
+    {!Wish_util.Pool} requeues and respawns underneath us) fails that job
+    only, is retried up to [retries] times with exponential backoff and
+    deterministic jitter, and is reported as a structured {!failure} if it
+    never succeeds. Per-job wall-clock timeouts are cooperative: a running
+    simulation cannot be preempted, but an overrun is detected at
+    completion, its result discarded, and the job retried/reported like
+    any other failure, so a batch never silently absorbs a runaway job.
+    Because every recomputation is deterministic, any fault schedule that
+    eventually succeeds yields byte-identical tables. *)
 
 open Wish_compiler
 module Pool = Wish_util.Pool
+module Faultpoint = Wish_util.Faultpoint
+module Rng = Wish_util.Rng
+
+let fp_compile =
+  Faultpoint.register "lab.compile" ~doc:"a compile job raises mid-batch (fails that bench's jobs)"
+
+let fp_trace =
+  Faultpoint.register "lab.trace" ~doc:"a trace-generation job raises mid-batch"
+
+let fp_simulate =
+  Faultpoint.register "lab.simulate" ~doc:"a simulation job raises mid-batch"
+
+let fp_slow =
+  Faultpoint.register "lab.slow"
+    ~doc:"a simulation job sleeps (the armed delay, default 50ms) before starting, tripping --timeout budgets"
+
+(* --------------------------------------------------------------- *)
+(* Supervision policy and outcomes                                  *)
+(* --------------------------------------------------------------- *)
+
+type policy = {
+  timeout : float option;
+  retries : int;
+  backoff : float;
+  keep_going : bool;
+  seed : int;
+}
+
+let default_policy =
+  { timeout = None; retries = 2; backoff = 0.05; keep_going = false; seed = 1 }
+
+type failure = {
+  failed_stage : string;
+  failed_what : string;
+  failed_attempts : int;
+  failed_reason : string;
+}
+
+exception Job_failed of failure
+exception Interrupted
+
+let pp_failure ppf f =
+  Format.fprintf ppf "%s %s failed after %d attempt%s: %s" f.failed_stage f.failed_what
+    f.failed_attempts
+    (if f.failed_attempts = 1 then "" else "s")
+    f.failed_reason
+
+let () =
+  Printexc.register_printer (function
+    | Job_failed f -> Some (Format.asprintf "Lab.Job_failed (%a)" pp_failure f)
+    | Interrupted -> Some "Lab.Interrupted"
+    | _ -> None)
+
+type batch_stats = {
+  mutable executed : int; (* stage tasks actually run (attempts included) *)
+  mutable retried : int; (* extra attempts beyond each task's first *)
+  mutable failed : int; (* tasks that exhausted their retry budget *)
+  mutable cache_hits : int;
+  mutable resumed : int; (* journaled jobs served from the cache *)
+}
 
 type t = {
   scale : int;
@@ -31,12 +103,20 @@ type t = {
   mutable log : string -> unit;
   pool : Pool.t option;
   cache : Cache.t option;
+  journal : (string, unit) Hashtbl.t; (* completed-job keys loaded for --resume *)
+  stop : bool Atomic.t;
+  stats : batch_stats;
 }
 
 let eval_input = "A"
 
-let create ?(scale = 1) ?names ?(jobs = 1) ?cache () =
+let create ?(scale = 1) ?names ?(jobs = 1) ?cache ?(resume = false) () =
   let names = Option.value names ~default:Wish_workloads.Workloads.names in
+  let journal =
+    match (resume, cache) with
+    | true, Some c -> Cache.journal_load c
+    | _ -> Hashtbl.create 1
+  in
   {
     scale;
     benches = List.map (Wish_workloads.Workloads.find ~scale) names;
@@ -46,10 +126,29 @@ let create ?(scale = 1) ?names ?(jobs = 1) ?cache () =
     log = ignore;
     pool = (if jobs > 1 then Some (Pool.create ~size:jobs ()) else None);
     cache;
+    journal;
+    stop = Atomic.make false;
+    stats = { executed = 0; retried = 0; failed = 0; cache_hits = 0; resumed = 0 };
   }
 
 let jobs t = match t.pool with Some p -> Pool.size p | None -> 1
 let shutdown t = match t.pool with Some p -> Pool.shutdown p | None -> ()
+let journaled_jobs t = Hashtbl.length t.journal
+
+let batch_stats t =
+  (* A copy: callers cannot perturb the accumulators. *)
+  let s = t.stats in
+  {
+    executed = s.executed;
+    retried = s.retried;
+    failed = s.failed;
+    cache_hits = s.cache_hits;
+    resumed = s.resumed;
+  }
+
+let request_stop t = Atomic.set t.stop true
+let stop_requested t = Atomic.get t.stop
+let check_stop t = if Atomic.get t.stop then raise Interrupted
 
 let set_logger t f = t.log <- f
 
@@ -80,8 +179,14 @@ let cached_summary t key =
 let store_trace t key tr =
   match t.cache with None -> () | Some c -> Cache.store c ~kind:"trace" ~key tr
 
+(* Summaries are the unit of batch completion: storing one also journals
+   its key, which is what lets an interrupted batch resume. *)
 let store_summary t key s =
-  match t.cache with None -> () | Some c -> Cache.store c ~kind:"summary" ~key s
+  match t.cache with
+  | None -> ()
+  | Some c ->
+    Cache.store c ~kind:"summary" ~key s;
+    Cache.journal_append c key
 
 (* --------------------------------------------------------------- *)
 (* Serial (memoized, cache-backed) accessors                        *)
@@ -115,6 +220,7 @@ let trace t ~bench:name ~kind ~input =
     let tr =
       match cached_trace t ckey with
       | Some tr ->
+        t.stats.cache_hits <- t.stats.cache_hits + 1;
         t.log (Printf.sprintf "cache hit: trace %s/%s input %s" name kind_n input);
         tr
       | None ->
@@ -137,6 +243,7 @@ let run t ~bench:name ~kind ?(input = eval_input) ?(config = Wish_sim.Config.def
     let s =
       match cached_summary t ckey with
       | Some s ->
+        t.stats.cache_hits <- t.stats.cache_hits + 1;
         t.log (Printf.sprintf "cache hit: summary %s/%s input %s" name kind_n input);
         s
       | None ->
@@ -153,7 +260,7 @@ let run t ~bench:name ~kind ?(input = eval_input) ?(config = Wish_sim.Config.def
     s
 
 (* --------------------------------------------------------------- *)
-(* Batched (parallel) execution                                     *)
+(* Batched (parallel, supervised) execution                         *)
 (* --------------------------------------------------------------- *)
 
 type job = {
@@ -194,12 +301,101 @@ let uniq key xs =
 
 let memo_key j = (j.job_bench, Policy.kind_name j.job_kind, j.job_input, j.job_config)
 
-(** [run_batch t jobs] — the parallel twin of {!run}: resolves every job
-    (memo table, then disk cache, then compile/trace/simulate fanned over
-    the worker pool) and returns the summaries in [jobs] order. All memo
-    and cache mutation happens on the calling domain. *)
-let run_batch t jobs =
-  (* Stage 1: compile missing binaries (one job per bench). *)
+(* Fan [f] over [xs] on the pool under [policy]: each item is attempted
+   up to [1 + retries] times, failed rounds separated by exponential
+   backoff with deterministic jitter; a completion slower than [timeout]
+   counts as a failure (its result is discarded — recomputation is
+   deterministic, so a retried success is bit-identical). Workers never
+   see an exception: every attempt is folded to a [result] inside the
+   task, so one job's crash (or its worker's injected death, handled a
+   layer down by the pool) cannot abandon the batch. Returns per-item
+   [Ok y | Error failure] in order; under fail-fast, raises [Job_failed]
+   on the first exhausted item instead. *)
+let supervised_map t ~policy ~stage ~describe f xs =
+  if xs = [] then []
+  else begin
+    check_stop t;
+    let jitter = Rng.create (policy.seed lxor 0x5eed) in
+    let items = Array.of_list xs in
+    let n = Array.length items in
+    let results = Array.make n None in
+    let attempts = Array.make n 0 in
+    let pending = ref (List.init n Fun.id) in
+    let round = ref 0 in
+    while !pending <> [] && !round <= policy.retries do
+      check_stop t;
+      if !round > 0 then begin
+        let base = policy.backoff *. (2.0 ** float_of_int (!round - 1)) in
+        let factor = 0.5 +. (float_of_int (Rng.int jitter 1024) /. 1024.0) in
+        Unix.sleepf (base *. factor)
+      end;
+      let outs =
+        pmap t
+          (fun i ->
+            let t0 = Unix.gettimeofday () in
+            match f items.(i) with
+            | y -> (
+              let dt = Unix.gettimeofday () -. t0 in
+              match policy.timeout with
+              | Some budget when dt > budget ->
+                Error (Printf.sprintf "timeout (%.3fs elapsed, %.3fs budget)" dt budget)
+              | _ -> Ok y)
+            | exception Faultpoint.Injected { site; hit } ->
+              Error (Printf.sprintf "injected fault at %s (hit %d)" site hit)
+            | exception e -> Error (Printexc.to_string e))
+          !pending
+      in
+      let failed_now = ref [] in
+      List.iter2
+        (fun i out ->
+          attempts.(i) <- attempts.(i) + 1;
+          t.stats.executed <- t.stats.executed + 1;
+          results.(i) <- Some out;
+          match out with
+          | Ok _ -> ()
+          | Error reason ->
+            failed_now := i :: !failed_now;
+            t.log
+              (Printf.sprintf "%s %s: attempt %d/%d failed (%s)" stage (describe items.(i))
+                 attempts.(i) (1 + policy.retries) reason))
+        !pending outs;
+      let failed_now = List.rev !failed_now in
+      if failed_now <> [] && !round < policy.retries then
+        t.stats.retried <- t.stats.retried + List.length failed_now;
+      pending := failed_now;
+      incr round
+    done;
+    List.init n (fun i ->
+        match results.(i) with
+        | Some (Ok y) -> Ok y
+        | Some (Error reason) ->
+          let fl =
+            {
+              failed_stage = stage;
+              failed_what = describe items.(i);
+              failed_attempts = attempts.(i);
+              failed_reason = reason;
+            }
+          in
+          t.stats.failed <- t.stats.failed + 1;
+          if not policy.keep_going then raise (Job_failed fl);
+          Error fl
+        | None -> assert false)
+  end
+
+let describe_job j =
+  Printf.sprintf "%s/%s input %s" j.job_bench (Policy.kind_name j.job_kind) j.job_input
+
+(** [run_batch_results t jobs] — the supervised parallel twin of {!run}:
+    resolves every job (memo table, then disk cache, then
+    compile/trace/simulate fanned over the worker pool, each stage under
+    the retry/timeout policy) and returns per-job outcomes in [jobs]
+    order. All memo and cache mutation happens on the calling domain. *)
+let run_batch_results ?(policy = default_policy) t jobs =
+  check_stop t;
+  (* Stage 1: compile missing binaries (one job per bench). A bench whose
+     compile exhausts its retries poisons only that bench's jobs. *)
+  let failed_benches : (string, failure) Hashtbl.t = Hashtbl.create 4 in
   let missing_benches =
     uniq Fun.id
       (List.filter_map
@@ -208,9 +404,15 @@ let run_batch t jobs =
   in
   if missing_benches <> [] then
     List.iter2
-      (fun name bins -> Hashtbl.replace t.binaries name bins)
+      (fun name -> function
+        | Ok bins -> Hashtbl.replace t.binaries name bins
+        | Error fl -> Hashtbl.replace failed_benches name fl)
       missing_benches
-      (pmap t (fun name -> compile t name) missing_benches);
+      (supervised_map t ~policy ~stage:"compile" ~describe:Fun.id
+         (fun name ->
+           Faultpoint.cut fp_compile;
+           compile t name)
+         missing_benches);
   (* Stage 2: resolve summaries from memo and disk; what is left needs
      simulating. *)
   let todo =
@@ -219,22 +421,35 @@ let run_batch t jobs =
   let todo =
     List.filter
       (fun j ->
-        let kind_n = Policy.kind_name j.job_kind in
-        let ckey =
-          summary_cache_key t ~bench:j.job_bench ~kind:kind_n ~input:j.job_input
-            ~config:j.job_config
-        in
-        match cached_summary t ckey with
-        | Some s ->
-          t.log
-            (Printf.sprintf "cache hit: summary %s/%s input %s" j.job_bench kind_n j.job_input);
-          Hashtbl.add t.results (memo_key j) s;
-          false
-        | None -> true)
+        if Hashtbl.mem failed_benches j.job_bench then false
+        else begin
+          let kind_n = Policy.kind_name j.job_kind in
+          let ckey =
+            summary_cache_key t ~bench:j.job_bench ~kind:kind_n ~input:j.job_input
+              ~config:j.job_config
+          in
+          match cached_summary t ckey with
+          | Some s ->
+            t.stats.cache_hits <- t.stats.cache_hits + 1;
+            if Hashtbl.mem t.journal ckey then begin
+              t.stats.resumed <- t.stats.resumed + 1;
+              t.log
+                (Printf.sprintf "resume: skipping %s/%s input %s (journaled)" j.job_bench
+                   kind_n j.job_input)
+            end
+            else
+              t.log
+                (Printf.sprintf "cache hit: summary %s/%s input %s" j.job_bench kind_n
+                   j.job_input);
+            Hashtbl.add t.results (memo_key j) s;
+            false
+          | None -> true
+        end)
       todo
   in
   (* Stage 3: generate missing traces (one job per (bench, kind, input),
      shared by every configuration of the same binary/input pair). *)
+  let failed_traces : (string * string * string, failure) Hashtbl.t = Hashtbl.create 4 in
   let trace_todo =
     uniq
       (fun (name, kind_n, _, input) -> (name, kind_n, input))
@@ -250,6 +465,7 @@ let run_batch t jobs =
       (fun (name, kind_n, _, input) ->
         match cached_trace t (trace_cache_key t ~bench:name ~kind:kind_n ~input) with
         | Some tr ->
+          t.stats.cache_hits <- t.stats.cache_hits + 1;
           t.log (Printf.sprintf "cache hit: trace %s/%s input %s" name kind_n input);
           Hashtbl.add t.traces (name, kind_n, input) tr;
           false
@@ -257,24 +473,41 @@ let run_batch t jobs =
       trace_todo
   in
   if trace_todo <> [] then begin
-    let programs =
+    let tasks =
       List.map
         (fun (name, kind_n, kind, input) ->
           t.log (Printf.sprintf "tracing %s/%s input %s" name kind_n input);
-          ((bench t name).approx_dyn_insts, program t ~bench:name ~kind ~input))
+          ((name, kind_n, input), (bench t name).approx_dyn_insts, program t ~bench:name ~kind ~input))
         trace_todo
     in
-    let generated =
-      pmap t (fun (hint, p) -> fst (Wish_emu.Trace.generate ~hint p)) programs
-    in
     List.iter2
-      (fun (name, kind_n, _, input) tr ->
-        Hashtbl.replace t.traces (name, kind_n, input) tr;
-        store_trace t (trace_cache_key t ~bench:name ~kind:kind_n ~input) tr)
-      trace_todo generated
+      (fun (key, _, _) -> function
+        | Ok tr ->
+          Hashtbl.replace t.traces key tr;
+          let name, kind_n, input = key in
+          store_trace t (trace_cache_key t ~bench:name ~kind:kind_n ~input) tr
+        | Error fl -> Hashtbl.replace failed_traces key fl)
+      tasks
+      (supervised_map t ~policy ~stage:"trace"
+         ~describe:(fun ((name, kind_n, input), _, _) ->
+           Printf.sprintf "%s/%s input %s" name kind_n input)
+         (fun (_, hint, p) ->
+           Faultpoint.cut fp_trace;
+           fst (Wish_emu.Trace.generate ~hint p))
+         tasks)
   end;
   (* Stage 4: simulate. *)
-  if todo <> [] then begin
+  let failed_runs : (string * string * string * Wish_sim.Config.t, failure) Hashtbl.t =
+    Hashtbl.create 4
+  in
+  let sim_todo =
+    List.filter
+      (fun j ->
+        let kind_n = Policy.kind_name j.job_kind in
+        Hashtbl.mem t.traces (j.job_bench, kind_n, j.job_input))
+      todo
+  in
+  if sim_todo <> [] then begin
     let tasks =
       List.map
         (fun j ->
@@ -285,26 +518,56 @@ let run_batch t jobs =
             (Printf.sprintf "simulating %s/%s input %s (%d dynamic insts)" j.job_bench kind_n
                j.job_input (Wish_emu.Trace.length tr));
           (j, tr, p))
-        todo
-    in
-    let summaries =
-      pmap t
-        (fun (j, tr, p) -> Wish_sim.Runner.simulate ~config:j.job_config ~trace:tr p)
-        tasks
+        sim_todo
     in
     List.iter2
-      (fun (j, _, _) s ->
-        Hashtbl.replace t.results (memo_key j) s;
-        let kind_n = Policy.kind_name j.job_kind in
-        store_summary t
-          (summary_cache_key t ~bench:j.job_bench ~kind:kind_n ~input:j.job_input
-             ~config:j.job_config)
-          s)
-      tasks summaries
+      (fun (j, _, _) -> function
+        | Ok s ->
+          Hashtbl.replace t.results (memo_key j) s;
+          let kind_n = Policy.kind_name j.job_kind in
+          store_summary t
+            (summary_cache_key t ~bench:j.job_bench ~kind:kind_n ~input:j.job_input
+               ~config:j.job_config)
+            s
+        | Error fl -> Hashtbl.replace failed_runs (memo_key j) fl)
+      tasks
+      (supervised_map t ~policy ~stage:"simulate" ~describe:(fun (j, _, _) -> describe_job j)
+         (fun (j, tr, p) ->
+           Faultpoint.cut fp_simulate;
+           if Faultpoint.fires fp_slow then Unix.sleepf (Faultpoint.delay_of fp_slow);
+           Wish_sim.Runner.simulate ~config:j.job_config ~trace:tr p)
+         tasks)
   end;
-  List.map (fun j -> Hashtbl.find t.results (memo_key j)) jobs
+  (* Assemble per-job outcomes, [jobs] order. *)
+  List.map
+    (fun j ->
+      match Hashtbl.find_opt t.results (memo_key j) with
+      | Some s -> Ok s
+      | None -> (
+        match Hashtbl.find_opt failed_runs (memo_key j) with
+        | Some fl -> Error fl
+        | None -> (
+          let kind_n = Policy.kind_name j.job_kind in
+          match Hashtbl.find_opt failed_traces (j.job_bench, kind_n, j.job_input) with
+          | Some fl -> Error fl
+          | None -> (
+            match Hashtbl.find_opt failed_benches j.job_bench with
+            | Some fl -> Error fl
+            | None -> assert false))))
+    jobs
 
-let prewarm t jobs = ignore (run_batch t (with_baselines jobs))
+(** [run_batch t jobs] — {!run_batch_results}, failures raised: the first
+    failing job (in [jobs] order) aborts with [Job_failed]. *)
+let run_batch ?policy t jobs =
+  List.map
+    (function Ok s -> s | Error fl -> raise (Job_failed fl))
+    (run_batch_results ?policy t jobs)
+
+let prewarm ?policy t jobs =
+  let outcomes = run_batch_results ?policy t (with_baselines jobs) in
+  match (policy : policy option) with
+  | Some { keep_going = true; _ } -> ()
+  | _ -> List.iter (function Error fl -> raise (Job_failed fl) | Ok _ -> ()) outcomes
 
 (* --------------------------------------------------------------- *)
 (* Derived metrics                                                  *)

@@ -15,24 +15,37 @@
     domains ({!run_batch}/{!prewarm} fan independent jobs across it, with
     results folded back deterministically on the calling domain) and an
     optional persistent {!Cache} consulted before any recomputation.
-    Figure output is bit-identical whatever [jobs] is and whether the
-    cache is cold, warm, or absent. *)
+
+    Fault tolerance: batched stages run under a supervision {!policy} —
+    per-job crash isolation, bounded retry with exponential backoff and
+    deterministic jitter, cooperative wall-clock timeouts, and structured
+    {!failure} reports ({!run_batch_results}) instead of silent
+    corruption. The completion journal kept by the {!Cache} lets an
+    interrupted batch resume ([~resume:true]) and skip finished work.
+    Figure output is bit-identical whatever [jobs] is, whether the cache
+    is cold, warm, or absent, and under any injected-fault schedule that
+    eventually succeeds. *)
 
 type t
 
 (** The default evaluation input label ("A"). *)
 val eval_input : string
 
-(** [create ?scale ?names ?jobs ?cache ()] — [names] restricts the
-    benchmark set; [jobs > 1] spawns that many worker domains for
+(** [create ?scale ?names ?jobs ?cache ?resume ()] — [names] restricts
+    the benchmark set; [jobs > 1] spawns that many worker domains for
     {!run_batch}/{!prewarm} (default 1 = serial); [cache] persists traces
-    and summaries across processes. *)
-val create : ?scale:int -> ?names:string list -> ?jobs:int -> ?cache:Cache.t -> unit -> t
+    and summaries across processes; [resume] (default false, needs
+    [cache]) loads the completion journal so jobs finished by an earlier
+    interrupted run are reported as resumed. *)
+val create :
+  ?scale:int -> ?names:string list -> ?jobs:int -> ?cache:Cache.t -> ?resume:bool -> unit -> t
 
 (** Worker-domain count the lab was created with (1 = serial). *)
 val jobs : t -> int
 
-(** Join the worker domains, if any. The lab stays usable serially. *)
+(** Join the worker domains, if any. The lab stays usable serially.
+    Always call on every exit path — wrap lab usage in
+    [Fun.protect ~finally:(fun () -> Lab.shutdown lab)]. *)
 val shutdown : t -> unit
 
 (** [set_logger t f] — progress callbacks for compilations/simulations. *)
@@ -61,6 +74,65 @@ val run :
   unit ->
   Wish_sim.Runner.summary
 
+(** {1 Supervision} *)
+
+(** How batched stages treat misbehaving jobs. [timeout] is a per-job
+    wall-clock budget in seconds (cooperative: an overrun is detected at
+    job completion, the result discarded, and the job retried);
+    [retries] is the number of {e additional} attempts after the first;
+    failed rounds are separated by [backoff *. 2.ⁿ] seconds scaled by a
+    deterministic jitter in [0.5, 1.5) drawn from [seed]. With
+    [keep_going] every job runs to a verdict and failures are returned
+    as data; without it the first exhausted job raises {!Job_failed}. *)
+type policy = {
+  timeout : float option;
+  retries : int;
+  backoff : float;
+  keep_going : bool;
+  seed : int;
+}
+
+(** No timeout, 2 retries, 50 ms backoff base, fail-fast, seed 1. *)
+val default_policy : policy
+
+(** What a job that exhausted its retry budget looked like. *)
+type failure = {
+  failed_stage : string;  (** "compile" | "trace" | "simulate" *)
+  failed_what : string;  (** e.g. "gzip/wish-jump-join input A" *)
+  failed_attempts : int;
+  failed_reason : string;  (** exception text, injected-fault site, or timeout *)
+}
+
+exception Job_failed of failure
+exception Interrupted
+
+val pp_failure : Format.formatter -> failure -> unit
+
+(** Cumulative supervision counters since {!create} (a snapshot copy). *)
+type batch_stats = {
+  mutable executed : int;  (** stage tasks actually run, attempts included *)
+  mutable retried : int;  (** extra attempts beyond each task's first *)
+  mutable failed : int;  (** tasks that exhausted their retry budget *)
+  mutable cache_hits : int;
+  mutable resumed : int;  (** journaled jobs served from the cache *)
+}
+
+val batch_stats : t -> batch_stats
+
+(** Number of completed-job keys loaded from the journal (0 unless
+    created with [~resume:true] and a cache). *)
+val journaled_jobs : t -> int
+
+(** Ask the current/next batch to stop: signal-handler safe (one atomic
+    store). The batch drains the in-flight pool round, then raises
+    {!Interrupted} from the coordinating domain; everything already
+    finished is in the memo tables, the cache, and the journal. *)
+val request_stop : t -> unit
+
+val stop_requested : t -> bool
+
+(** {1 Batched execution} *)
+
 (** One unit of simulation work for {!run_batch}. *)
 type job = {
   job_bench : string;
@@ -86,16 +158,31 @@ val baseline_of : job -> job
 (** [with_baselines js] — each job followed by its {!baseline_of}. *)
 val with_baselines : job list -> job list
 
-(** [run_batch t jobs] — the parallel twin of {!run}: resolves every job
-    (memo table, then disk cache, then compile/trace/simulate fanned over
-    the worker pool) and returns the summaries in [jobs] order, identical
-    to what serial {!run} calls would produce. *)
-val run_batch : t -> job list -> Wish_sim.Runner.summary list
+(** [run_batch_results ?policy t jobs] — the supervised parallel twin of
+    {!run}: resolves every job (memo table, then disk cache, then
+    compile/trace/simulate fanned over the worker pool, each stage under
+    [policy]) and returns per-job outcomes in [jobs] order. A failure in
+    one stage poisons exactly the jobs that needed its product (a failed
+    compile fails that bench's jobs, a failed trace the jobs sharing it).
+    Under the default fail-fast policy a permanent failure raises
+    {!Job_failed} instead of being returned. *)
+val run_batch_results :
+  ?policy:policy -> t -> job list -> (Wish_sim.Runner.summary, failure) result list
 
-(** [prewarm t jobs] — {!run_batch} over [with_baselines jobs], results
-    discarded: populates the memo tables so a figure generator's serial
-    {!run}/{!normalized} calls all hit. *)
-val prewarm : t -> job list -> unit
+(** [run_batch ?policy t jobs] — {!run_batch_results} with failures
+    raised: the first failing job (in [jobs] order) aborts with
+    {!Job_failed}. Successful output is identical to what serial {!run}
+    calls would produce. *)
+val run_batch : ?policy:policy -> t -> job list -> Wish_sim.Runner.summary list
+
+(** [prewarm ?policy t jobs] — {!run_batch_results} over
+    [with_baselines jobs], results discarded: populates the memo tables
+    so a figure generator's serial {!run}/{!normalized} calls all hit.
+    Raises {!Job_failed} on a permanent failure unless [policy] has
+    [keep_going] set. *)
+val prewarm : ?policy:policy -> t -> job list -> unit
+
+(** {1 Derived metrics} *)
 
 (** Execution time normalized to the normal-branch binary on the same
     input and machine (baseline strips the oracle knobs). *)

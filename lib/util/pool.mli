@@ -1,11 +1,18 @@
-(** Fixed-size domain worker pool (OCaml 5 [Domain] + [Mutex] +
-    [Condition], no dependencies).
+(** Fixed-size supervised domain worker pool (OCaml 5 [Domain] +
+    [Mutex] + [Condition], no dependencies).
 
     The pool owns [size - 1 |> max 0] worker domains pulling tasks from a
     shared queue; {!map} fans a list of independent jobs across them and
     returns the results in submission order, so callers see deterministic
     output regardless of scheduling. A pool of size 1 spawns no domains
     and degenerates to [List.map] on the calling domain.
+
+    The pool is {e supervised}: a worker domain that dies after claiming
+    a task (the [pool.worker] faultpoint simulates this in chaos tests)
+    pushes the task back on the queue before exiting, and the
+    coordinator joins and respawns the dead worker — {!map} still
+    returns every result, in order, and capacity never decays.
+    {!respawns} counts the replacements.
 
     Intended use: embarrassingly parallel compile/trace/simulate sweeps.
     {!map} is meant to be called from one coordinating domain at a time;
@@ -21,6 +28,9 @@ val default_size : unit -> int
 val create : ?size:int -> unit -> t
 
 val size : t -> int
+
+(** Worker domains respawned after an (injected) mid-task death. *)
+val respawns : t -> int
 
 (** [map t f xs] — run [f] over every element of [xs] on the pool and
     return the results in submission (list) order.
