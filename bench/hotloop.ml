@@ -53,7 +53,15 @@ let time_case ~name ~iters ?(config = Wish_sim.Config.default) ~wish () =
   let per w = w /. float_of_int iters in
   Printf.printf "%-8s %10.0f ns/run (cpu)  minor %9.0f w/run  major %8.0f w/run\n%!" name
     (1e9 *. dt /. float_of_int iters)
-    (per g.minor_words) (per g.major_words)
+    (per g.minor_words) (per g.major_words);
+  let open Wish_util.Perf_json in
+  ( name,
+    Obj
+      [
+        ("ns_per_run", Float (1e9 *. dt /. float_of_int iters));
+        ("minor_words_per_run", Float (per g.minor_words));
+        ("major_words_per_run", Float (per g.major_words));
+      ] )
 
 let () =
   let gc_tune = Array.exists (( = ) "--gc-tune") Sys.argv in
@@ -63,10 +71,29 @@ let () =
     |> Option.value ~default:300
   in
   if gc_tune then Gc_stats.tune ();
-  time_case ~name:"fig10" ~iters ~wish:true ();
-  time_case ~name:"fig14"
-    ~config:(Wish_sim.Config.with_rob Wish_sim.Config.default 128)
-    ~iters ~wish:true ();
-  time_case ~name:"fig1" ~iters ~wish:false ();
+  let wall0 = Unix.gettimeofday () in
+  let cases =
+    [
+      time_case ~name:"fig10" ~iters ~wish:true ();
+      time_case ~name:"fig14"
+        ~config:(Wish_sim.Config.with_rob Wish_sim.Config.default 128)
+        ~iters ~wish:true ();
+      time_case ~name:"fig1" ~iters ~wish:false ();
+    ]
+  in
   Printf.printf "gc: %s; peak RSS %d KiB\n%!" (Gc_stats.summary_line ())
-    (Gc_stats.peak_rss_kb ())
+    (Gc_stats.peak_rss_kb ());
+  (* Machine-readable twin of the stdout report, for diffing runs. *)
+  let open Wish_util.Perf_json in
+  let g = Gc_stats.snapshot () in
+  write_file "BENCH_hotloop.json"
+    (Obj
+       [
+         ("bench", String "hotloop");
+         ("iters", Int iters);
+         ("wall_s", Float (Unix.gettimeofday () -. wall0));
+         ("minor_words", Float g.minor_words);
+         ("major_words", Float g.major_words);
+         ("peak_rss_kb", of_rss (Gc_stats.peak_rss_kb_opt ()));
+         ("cases", Obj cases);
+       ])

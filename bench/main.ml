@@ -40,18 +40,42 @@ let regenerate ~scale ~jobs ~use_cache names =
             None)
         names
   in
-  List.iter
-    (fun (name, f) ->
-      let t0 = Unix.gettimeofday () in
-      (* Fan the artifact's full simulation grid across the worker pool;
-         the generator below then renders from warm memo tables. *)
-      (match (Figures.jobs_for name lab, Ablations.jobs_for name lab) with
-      | [], [] -> ()
-      | js, [] | [], js -> Lab.prewarm lab js
-      | _ -> assert false (* figure and ablation ids are disjoint *));
-      Wish_util.Table.print (f lab);
-      Printf.printf "(%s regenerated in %.1fs)\n\n%!" name (Unix.gettimeofday () -. t0))
-    selected
+  let wall0 = Unix.gettimeofday () in
+  let timings =
+    List.map
+      (fun (name, f) ->
+        let t0 = Unix.gettimeofday () in
+        (* Fan the artifact's full simulation grid across the worker pool;
+           the generator below then renders from warm memo tables. *)
+        (match (Figures.jobs_for name lab, Ablations.jobs_for name lab) with
+        | [], [] -> ()
+        | js, [] | [], js -> Lab.prewarm lab js
+        | _ -> assert false (* figure and ablation ids are disjoint *));
+        Wish_util.Table.print (f lab);
+        let dt = Unix.gettimeofday () -. t0 in
+        Printf.printf "(%s regenerated in %.1fs)\n\n%!" name dt;
+        (name, dt))
+      selected
+  in
+  (* Machine-readable perf record of the regeneration pass. *)
+  let open Wish_util.Perf_json in
+  let st = Lab.batch_stats lab in
+  let g = Wish_util.Gc_stats.snapshot () in
+  write_file "BENCH_regen.json"
+    (Obj
+       [
+         ("bench", String "regen");
+         ("scale", Int scale);
+         ("jobs", Int jobs);
+         ("cache", Bool use_cache);
+         ("wall_s", Float (Unix.gettimeofday () -. wall0));
+         ("minor_words", Float g.minor_words);
+         ("major_words", Float g.major_words);
+         ("peak_rss_kb", of_rss (Wish_util.Gc_stats.peak_rss_kb_opt ()));
+         ("cache_hits", Int st.cache_hits);
+         ("tasks_executed", Int st.executed);
+         ("artifacts", Obj (List.map (fun (n, dt) -> (n, Float dt)) timings));
+       ])
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: the mechanism behind each artifact        *)

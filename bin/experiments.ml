@@ -16,9 +16,20 @@ module Ablations = Wish_experiments.Ablations
 module Cache = Wish_experiments.Cache
 
 let run names scale verbose benchmarks csv_dir jobs no_cache gc_tune timeout retries keep_going
-    resume =
+    resume sample sample_parallel =
   Wish_util.Faultpoint.arm_from_env ();
   if gc_tune then Wish_util.Gc_stats.tune ();
+  let sample =
+    match sample with
+    | None -> None
+    | Some "auto" -> Some Lab.Sample_auto
+    | Some str -> (
+      match Wish_sim.Sampler.of_string str with
+      | Ok s -> Some (Lab.Sample_spec s)
+      | Error e ->
+        Fmt.epr "--sample %s: %s@." str e;
+        exit 2)
+  in
   (* Resolve the artifact selection before spawning any worker domain, so
      a typo cannot leak a pool. Named lookup also covers the on-demand
      extras (scale-sweep); the no-argument run sticks to the default
@@ -41,7 +52,7 @@ let run names scale verbose benchmarks csv_dir jobs no_cache gc_tune timeout ret
   let cache = if no_cache then None else Some (Cache.create ()) in
   let lab =
     Lab.create ~scale ?names:(if benchmarks = [] then None else Some benchmarks) ~jobs ?cache
-      ~resume ()
+      ~resume ?sample ~sample_parallel ()
   in
   if verbose then Lab.set_logger lab (fun s -> Fmt.epr "[lab] %s@." s);
   if resume then
@@ -209,9 +220,21 @@ let run_term =
          & info [ "resume" ]
              ~doc:"Load the completion journal and skip jobs finished by an earlier (interrupted) run")
   in
+  let sample =
+    Arg.(value & opt (some string) None
+         & info [ "sample" ]
+             ~doc:"Simulate sampled (functional warming + measurement windows): W:D \
+                   (warm:detail entries) or 'auto'. Summaries are cached under separate keys")
+  in
+  let sample_parallel =
+    Arg.(value & flag
+         & info [ "sample-parallel" ]
+             ~doc:"With --sample: fan each sampled run's measurement windows across the worker \
+                   domains (serial runs only; batched jobs already use the pool)")
+  in
   Term.(
     const run $ names $ scale $ verbose $ benchmarks $ csv_dir $ jobs $ no_cache $ gc_tune
-    $ timeout $ retries $ keep_going $ resume)
+    $ timeout $ retries $ keep_going $ resume $ sample $ sample_parallel)
 
 let cmd =
   Cmd.v (Cmd.info "experiments" ~doc:"Regenerate the wish-branches paper's tables and figures")

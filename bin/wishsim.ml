@@ -8,9 +8,23 @@ open Cmdliner
 module Lab = Wish_experiments.Lab
 
 let run bench_name kind_name input scale asm_file rob stages mech_select wish_hw perfect_bp
-    perfect_conf no_depend no_fetch streaming gc_tune show_stats show_code =
+    perfect_conf no_depend no_fetch streaming sample sample_parallel jobs gc_tune show_stats
+    show_code =
   Wish_util.Faultpoint.arm_from_env ();
   if gc_tune then Wish_util.Gc_stats.tune ();
+  let sample_spec =
+    (* [None]: exact. [Some None]: sampled, auto spec. [Some (Some s)]:
+       sampled with an explicit W:D spec. *)
+    match sample with
+    | None -> None
+    | Some "auto" -> Some None
+    | Some str -> (
+      match Wish_sim.Sampler.of_string str with
+      | Ok s -> Some (Some s)
+      | Error e ->
+        Fmt.epr "--sample %s: %s@." str e;
+        exit 2)
+  in
   (* Workload mode compiles through a (serial) Lab; every exit path —
      including parse/lookup errors below — must release it, hence the
      [Fun.protect]. *)
@@ -56,7 +70,22 @@ let run bench_name kind_name input scale asm_file rob stages mech_select wish_hw
         }
       in
       let trace = if streaming then Some (Wish_emu.Trace.stream program) else None in
-      let s = Wish_sim.Runner.simulate ~config ~streaming ?trace program in
+      let s, report =
+        match sample_spec with
+        | None -> (Wish_sim.Runner.simulate ~config ~streaming ?trace program, None)
+        | Some spec ->
+          let pool =
+            if sample_parallel && not streaming then Some (Wish_util.Pool.create ~size:jobs ())
+            else None
+          in
+          Fun.protect
+            ~finally:(fun () -> Option.iter Wish_util.Pool.shutdown pool)
+            (fun () ->
+              let s, r =
+                Wish_sim.Runner.simulate_sampled ?pool ?spec ~config ~streaming ?trace program
+              in
+              (s, Some r))
+      in
       Fmt.pr "workload      %s (input %s, scale %d)@." bench_label input scale;
       Fmt.pr "binary        %s@." kind_name;
       Fmt.pr "dynamic insts %d@." s.dynamic_insts;
@@ -67,6 +96,16 @@ let run bench_name kind_name input scale asm_file rob stages mech_select wish_hw
         s.mispredicts s.flushes;
       Fmt.pr "caches        L1D %d/%d miss, L2 %d/%d miss, L1I %d/%d miss@." s.mem.l1d_misses
         s.mem.l1d_accesses s.mem.l2_misses s.mem.l2_accesses s.mem.l1i_misses s.mem.l1i_accesses;
+      (match report with
+      | Some r ->
+        Fmt.pr "sampled       spec %s, %d windows, %d/%d entries measured (%.1f%%)%s@."
+          (Wish_sim.Sampler.to_string r.Wish_sim.Sampler.r_spec)
+          (List.length r.r_windows) r.r_measured_entries r.r_total_insts
+          (100.0 *. float_of_int r.r_measured_entries /. float_of_int (max 1 r.r_total_insts))
+          (if sample_parallel then Fmt.str ", %d window domains" jobs else "");
+        Fmt.pr "              uPC %.4f +/- %.4f (95%% CI), misp/1K %.2f +/- %.2f, est cycles %d@."
+          r.r_upc r.r_upc_ci r.r_misp_per_1k r.r_misp_ci r.r_est_cycles
+      | None -> ());
       (match trace with
       | Some tr ->
         Fmt.pr "streaming     peak %d resident trace entries (%d-entry chunks); peak RSS %d KiB@."
@@ -110,6 +149,22 @@ let cmd =
          & info [ "stream" ]
              ~doc:"Fuse emulation into simulation through a bounded-memory streaming trace")
   in
+  let sample =
+    Arg.(value & opt (some string) None
+         & info [ "sample" ]
+             ~doc:"Sampled simulation: functional warming with W:D (warm:detail entries) \
+                   measurement windows, or 'auto' to scale the spec to the trace")
+  in
+  let sample_parallel =
+    Arg.(value & flag
+         & info [ "sample-parallel" ]
+             ~doc:"Fan the sampled run's measurement windows across worker domains \
+                   (requires --sample; ignored with --stream)")
+  in
+  let jobs =
+    Arg.(value & opt int (Wish_util.Pool.default_size ())
+         & info [ "j"; "jobs" ] ~doc:"Worker domains for --sample-parallel")
+  in
   let gc_tune =
     Arg.(value & flag
          & info [ "gc-tune" ] ~doc:"Size the OCaml minor heap for long simulation runs")
@@ -120,6 +175,6 @@ let cmd =
     (Cmd.info "wishsim" ~doc:"Cycle-level simulation of wish-branch binaries")
     Term.(
       const run $ bench $ kind $ input $ scale $ asm_file $ rob $ stages $ mech $ wish_hw $ pbp
-      $ pcf $ nd $ nf $ streaming $ gc_tune $ stats $ code)
+      $ pcf $ nd $ nf $ streaming $ sample $ sample_parallel $ jobs $ gc_tune $ stats $ code)
 
 let () = exit (Cmd.eval cmd)

@@ -20,3 +20,5 @@ let lookup t ~pc = Wish_util.Lru.find t.table ~set:(set_of t pc) ~tag:(tag_of t 
 
 let insert t ~pc ~target ~is_wish =
   ignore (Wish_util.Lru.insert t.table ~set:(set_of t pc) ~tag:(tag_of t pc) { target; is_wish })
+
+let copy t = { t with table = Wish_util.Lru.copy t.table }

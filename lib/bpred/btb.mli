@@ -10,3 +10,6 @@ val create : entries:int -> ways:int -> t
 
 val lookup : t -> pc:int -> entry option
 val insert : t -> pc:int -> target:int -> is_wish:bool -> unit
+
+(** Independent deep copy (for sampled-simulation checkpoints). *)
+val copy : t -> t

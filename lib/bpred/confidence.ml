@@ -61,3 +61,10 @@ let train t ~pc ~history ~correct =
   in
   if not updated then
     ignore (Wish_util.Lru.insert t.table ~set ~tag (if correct then 1 else 0))
+
+(** [warm] — the estimator's retirement update is already purely
+    architectural; the alias keeps the five predictors' warming API
+    uniform. *)
+let warm = train
+
+let copy t = { t with table = Wish_util.Lru.copy t.table }

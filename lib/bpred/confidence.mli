@@ -29,3 +29,10 @@ val is_high_confidence : t -> pc:int -> history:int -> bool
 (** [train t ~pc ~history ~correct] updates the resetting counter,
     inserting the entry on first sight. *)
 val train : t -> pc:int -> history:int -> correct:bool -> unit
+
+(** Functional-warming update (same as [train]; kept for API uniformity
+    across the predictor suite). *)
+val warm : t -> pc:int -> history:int -> correct:bool -> unit
+
+(** Independent deep copy (for sampled-simulation checkpoints). *)
+val copy : t -> t

@@ -22,3 +22,15 @@ let train_at t idx ~taken =
   t.pht.(idx) <- (if taken then min 3 (c + 1) else max 0 (c - 1))
 
 let train t ~pc ~history ~taken = train_at t (index t ~pc ~history) ~taken
+
+(** [warm t ~pc ~history ~taken] — functional-warming update: predict and
+    immediately train on the architectural outcome, with none of the
+    fetch/retire split the detailed core needs. Returns the direction
+    that was predicted (before training). *)
+let warm t ~pc ~history ~taken =
+  let idx = index t ~pc ~history in
+  let p = predict_at t idx in
+  train_at t idx ~taken;
+  p
+
+let copy t = { t with pht = Array.copy t.pht }

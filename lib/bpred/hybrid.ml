@@ -94,3 +94,26 @@ let train t (l : lookup) ~taken =
     t.selector.(l.s_index) <-
       (if l.g_taken = taken then min 3 (c + 1) else max 0 (c - 1))
   end
+
+(** [warm t ~pc ~taken] — functional-warming update: predict, train every
+    table on the architectural outcome, and shift the outcome into the
+    global and local histories — the fixed point of the detailed
+    predict/spec-update/train protocol when no wrong path ever executes.
+    Returns the pre-training prediction so callers can warm a confidence
+    estimator with it. *)
+let warm t ?dir ~pc ~taken () =
+  let l = predict t ~pc in
+  train t l ~taken;
+  let dir = Option.value dir ~default:taken in
+  t.history <- ((t.history lsl 1) lor if dir then 1 else 0) land t.history_mask;
+  ignore (Pas.spec_update t.pas ~pc ~taken:dir);
+  l.taken
+
+(** Independent deep copy; checkpoint support for sampled simulation. *)
+let copy t =
+  {
+    t with
+    gshare = Gshare.copy t.gshare;
+    pas = Pas.copy t.pas;
+    selector = Array.copy t.selector;
+  }

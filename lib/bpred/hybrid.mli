@@ -52,3 +52,15 @@ val restore : t -> snapshot -> unit
 val correct : t -> snapshot -> dir:bool -> unit
 
 val train : t -> lookup -> taken:bool -> unit
+
+(** [warm t ?dir ~pc ~taken ()] — one-step architectural update for
+    functional warming: predict, train all tables on the outcome [taken],
+    shift [dir] (default [taken]) into both histories. [dir] differs from
+    [taken] only for low-confidence wish branches, which retire with the
+    predictor's uncorrected output in the history (predicated execution
+    never flushes, so recovery never repairs it). Returns the
+    pre-training prediction. *)
+val warm : t -> ?dir:bool -> pc:int -> taken:bool -> unit -> bool
+
+(** Independent deep copy (for sampled-simulation checkpoints). *)
+val copy : t -> t

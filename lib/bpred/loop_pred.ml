@@ -75,3 +75,31 @@ let train t ~pc ~taken =
     e.trained <- true;
     e.current <- 0
   end
+
+(** [warm t ~pc ~taken] — functional-warming update: train on the
+    architectural outcome and keep the speculative view pinned to the
+    retirement view (there is no front end running ahead while warming). *)
+let warm t ~pc ~taken =
+  train t ~pc ~taken;
+  let e = entry t pc in
+  e.spec_count <- e.current
+
+let copy t =
+  {
+    t with
+    table =
+      Hashtbl.fold
+        (fun pc e acc ->
+          Hashtbl.add acc pc
+            {
+              last_trip = e.last_trip;
+              ema8 = e.ema8;
+              conf = e.conf;
+              current = e.current;
+              spec_count = e.spec_count;
+              trained = e.trained;
+            };
+          acc)
+        t.table
+        (Hashtbl.create (Hashtbl.length t.table));
+  }

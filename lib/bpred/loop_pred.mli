@@ -30,3 +30,10 @@ val squash_all : t -> unit
 
 (** [train t ~pc ~taken] consumes a retired loop-branch outcome. *)
 val train : t -> pc:int -> taken:bool -> unit
+
+(** [warm t ~pc ~taken] — train and keep the speculative view pinned to
+    retirement state (functional warming has no front end running ahead). *)
+val warm : t -> pc:int -> taken:bool -> unit
+
+(** Independent deep copy (for sampled-simulation checkpoints). *)
+val copy : t -> t

@@ -51,3 +51,15 @@ let restore t ~pc ~old = t.bht.(bht_index t ~pc) <- old
 let train_at t idx ~taken =
   let c = t.pht.(idx) in
   t.pht.(idx) <- (if taken then min 3 (c + 1) else max 0 (c - 1))
+
+(** [warm t ~pc ~taken] — functional-warming update: predict, train the
+    indexed counter on the outcome, and shift the outcome (not the
+    prediction — warming is never on a wrong path) into the local
+    history. Returns the pre-training prediction. *)
+let warm t ~pc ~taken =
+  let p, idx = predict t ~pc in
+  train_at t idx ~taken;
+  ignore (spec_update t ~pc ~taken);
+  p
+
+let copy t = { t with bht = Array.copy t.bht; pht = Array.copy t.pht }

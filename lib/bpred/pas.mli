@@ -19,3 +19,11 @@ val spec_update : t -> pc:int -> taken:bool -> int
 
 val restore : t -> pc:int -> old:int -> unit
 val train_at : t -> int -> taken:bool -> unit
+
+(** [warm t ~pc ~taken] — predict, train, and shift the outcome into the
+    local history in one step for functional warming; returns the
+    pre-training prediction. *)
+val warm : t -> pc:int -> taken:bool -> bool
+
+(** Independent deep copy (for sampled-simulation checkpoints). *)
+val copy : t -> t

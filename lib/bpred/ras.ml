@@ -25,3 +25,4 @@ let pop t =
 
 let snapshot t = t.top
 let restore t top = t.top <- max 0 top
+let copy t = { data = Array.copy t.data; top = t.top }

@@ -16,3 +16,6 @@ val pop : t -> int
 
 val snapshot : t -> int
 val restore : t -> int -> unit
+
+(** Independent deep copy (for sampled-simulation checkpoints). *)
+val copy : t -> t

@@ -184,6 +184,35 @@ let addr t i =
     let _, _, a = Hashtbl.find c.wide i in
     a
 
+(** [iter_range t ~from ~until ~f] — decode entries [from, until) in one
+    pass: the chunk is resolved once per chunk and each packed word is
+    read exactly once, instead of one [chunk_of] per field per entry as
+    the single-field accessors pay. This is the functional-warming fast
+    path of sampled simulation. Entries must already be available
+    (see {!ensure}) and still retained. *)
+let iter_range t ~from ~until ~f =
+  if until > from then begin
+    (* Bounds-check the range ends once; unsafe reads inside. *)
+    ignore (chunk_of t from);
+    ignore (chunk_of t (until - 1));
+    let i = ref from in
+    while !i < until do
+      let c = chunk_of t !i in
+      let stop = min until (((!i lsr t.cbits) + 1) lsl t.cbits) in
+      for j = !i to stop - 1 do
+        let w = Array.unsafe_get c.words (j land t.cmask) in
+        let guard_true = w land 1 <> 0 and taken = w land 2 <> 0 in
+        if w land 4 = 0 then
+          f j ~pc:((w lsr 3) land 0x1FFFFF) ~guard_true ~taken
+            ~addr:(((w lsr 37) land 0x3FFFFFF) - 1)
+        else
+          let p, _, a = Hashtbl.find c.wide j in
+          f j ~pc:p ~guard_true ~taken ~addr:a
+      done;
+      i := stop
+    done
+  end
+
 (* ----------------------------------------------------------------- *)
 (* Generation                                                         *)
 (* ----------------------------------------------------------------- *)

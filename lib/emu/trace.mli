@@ -38,6 +38,18 @@ val addr : t -> int -> int
 val guard_true : t -> int -> bool
 val taken : t -> int -> bool
 
+(** [iter_range t ~from ~until ~f] — decode entries [from, until) in one
+    pass, resolving the chunk once per chunk and reading each packed word
+    once (the functional-warming fast path; the single-field accessors
+    pay one chunk lookup per field). The range must be available
+    ({!ensure}) and still retained. *)
+val iter_range :
+  t ->
+  from:int ->
+  until:int ->
+  f:(int -> pc:int -> guard_true:bool -> taken:bool -> addr:int -> unit) ->
+  unit
+
 (** [ensure t i] makes entry [i] available, pulling the streaming
     emulator forward as needed; [false] means the trace ends before [i].
     Constant-time on materialized traces. *)

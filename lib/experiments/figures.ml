@@ -518,6 +518,88 @@ let scale_sweep _lab =
   t
 
 (* ------------------------------------------------------------------ *)
+(* Sample sweep: sampled vs exact accuracy and speedup                 *)
+(* ------------------------------------------------------------------ *)
+
+(** [sample_sweep] — sampled simulation ({!Wish_sim.Sampler}, auto spec)
+    against the exact run for the sweep workloads at scales 1/10/100:
+    µPC error, 95% CI, window count, and wall-clock speedups of the
+    serial and interval-parallel (pool-fanned windows) sampled modes.
+    On-demand only — every cell re-simulates, nothing is cached (the
+    timings would be meaningless otherwise). *)
+let sample_sweep lab =
+  let t =
+    Table.create ~title:"Sample sweep: sampled vs exact simulation, wish-jjl (input A)"
+      ~header:
+        [
+          "benchmark"; "scale"; "dyn insts"; "exact uPC"; "sampled uPC"; "95% CI"; "err %";
+          "windows"; "speedup"; "speedup par";
+        ]
+      ~aligns:
+        [
+          Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right;
+          Table.Right; Table.Right; Table.Right; Table.Right;
+        ]
+  in
+  let pool = if Lab.jobs lab > 1 then Some (Wish_util.Pool.create ~size:(Lab.jobs lab) ()) else None in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Wish_util.Pool.shutdown pool)
+    (fun () ->
+      List.iter
+        (fun scale ->
+          List.iter
+            (fun name ->
+              let bench = Wish_workloads.Workloads.find ~scale name in
+              let bins =
+                Compiler.compile_all ~mem_words:bench.mem_words ~name:bench.name
+                  ~profile_data:(Wish_workloads.Bench.profile_data bench) bench.ast
+              in
+              let program =
+                Wish_workloads.Bench.program_for bench
+                  (Compiler.binary bins Policy.Wish_jjl)
+                  Lab.eval_input
+              in
+              let trace, _ = Wish_emu.Trace.generate program in
+              let time f =
+                let t0 = Unix.gettimeofday () in
+                let y = f () in
+                (y, Unix.gettimeofday () -. t0)
+              in
+              let exact, t_exact = time (fun () -> Wish_sim.Runner.simulate ~trace program) in
+              let spec = Wish_sim.Sampler.auto ~length:(Wish_emu.Trace.length trace) in
+              let (s, r), t_serial =
+                time (fun () -> Wish_sim.Runner.simulate_sampled ~spec ~trace program)
+              in
+              let t_par =
+                match pool with
+                | None -> None
+                | Some pool ->
+                  let _, dt =
+                    time (fun () -> Wish_sim.Runner.simulate_sampled ~pool ~spec ~trace program)
+                  in
+                  Some dt
+              in
+              let err = 100.0 *. (s.upc -. exact.upc) /. exact.upc in
+              Table.add_row t
+                [
+                  name;
+                  string_of_int scale;
+                  string_of_int exact.dynamic_insts;
+                  Printf.sprintf "%.4f" exact.upc;
+                  Printf.sprintf "%.4f" s.upc;
+                  Printf.sprintf "±%.4f" r.Wish_sim.Sampler.r_upc_ci;
+                  Printf.sprintf "%+.2f" err;
+                  string_of_int (List.length r.r_windows);
+                  Printf.sprintf "%.1fx" (t_exact /. t_serial);
+                  (match t_par with
+                  | None -> "-"
+                  | Some dt -> Printf.sprintf "%.1fx" (t_exact /. dt));
+                ])
+            sweep_benches)
+        sweep_scales);
+  t
+
+(* ------------------------------------------------------------------ *)
 (* All artifacts                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -538,7 +620,7 @@ let all =
 
 (* On-demand artifacts: runnable by name, excluded from the default
    everything-run (runtime scales with the workloads they simulate). *)
-let extras = [ ("scale-sweep", scale_sweep) ]
+let extras = [ ("scale-sweep", scale_sweep); ("sample-sweep", sample_sweep) ]
 
 let find name =
   match List.assoc_opt name all with

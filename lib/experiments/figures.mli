@@ -35,6 +35,11 @@ val table5 : Lab.t -> Wish_util.Table.t
     {!extras}) — runtime grows linearly with scale. *)
 val scale_sweep : Lab.t -> Wish_util.Table.t
 
+(** Sample sweep: sampled (auto-spec) vs exact simulation for the sweep
+    workloads at scales 1/10/100 — µPC error, 95% CI, window count, and
+    serial/parallel speedups. On-demand only (see {!extras}). *)
+val sample_sweep : Lab.t -> Wish_util.Table.t
+
 (** [bar_jobs lab bars] — every benchmark × every bar, as prewarm jobs. *)
 val bar_jobs : Lab.t -> bar list -> Lab.job list
 
@@ -47,7 +52,7 @@ val jobs_for : string -> Lab.t -> Lab.job list
 val all : (string * (Lab.t -> Wish_util.Table.t)) list
 
 (** Artifacts runnable by name but excluded from the default
-    everything-run: scale-sweep. *)
+    everything-run: scale-sweep, sample-sweep. *)
 val extras : (string * (Lab.t -> Wish_util.Table.t)) list
 
 (** Looks up [all] then [extras]. *)

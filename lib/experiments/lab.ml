@@ -94,6 +94,14 @@ type batch_stats = {
   mutable resumed : int; (* journaled jobs served from the cache *)
 }
 
+(** How the lab simulates: [Sample_auto] scales a sampling spec to each
+    trace's length; [Sample_spec] uses one fixed spec everywhere. *)
+type sampling = Sample_auto | Sample_spec of Wish_sim.Sampler.spec
+
+let sampling_key = function
+  | Sample_auto -> "auto"
+  | Sample_spec s -> Wish_sim.Sampler.to_string s
+
 type t = {
   scale : int;
   mutable benches : Wish_workloads.Bench.t list;
@@ -106,11 +114,14 @@ type t = {
   journal : (string, unit) Hashtbl.t; (* completed-job keys loaded for --resume *)
   stop : bool Atomic.t;
   stats : batch_stats;
+  sample : sampling option;
+  sample_parallel : bool;
 }
 
 let eval_input = "A"
 
-let create ?(scale = 1) ?names ?(jobs = 1) ?cache ?(resume = false) () =
+let create ?(scale = 1) ?names ?(jobs = 1) ?cache ?(resume = false) ?sample
+    ?(sample_parallel = false) () =
   let names = Option.value names ~default:Wish_workloads.Workloads.names in
   let journal =
     match (resume, cache) with
@@ -129,7 +140,11 @@ let create ?(scale = 1) ?names ?(jobs = 1) ?cache ?(resume = false) () =
     journal;
     stop = Atomic.make false;
     stats = { executed = 0; retried = 0; failed = 0; cache_hits = 0; resumed = 0 };
+    sample;
+    sample_parallel;
   }
+
+let sampling t = t.sample
 
 let jobs t = match t.pool with Some p -> Pool.size p | None -> 1
 let shutdown t = match t.pool with Some p -> Pool.shutdown p | None -> ()
@@ -167,8 +182,29 @@ let bench t name =
 let trace_cache_key t ~bench ~kind ~input =
   Printf.sprintf "%s|%s|%s|scale%d" bench kind input t.scale
 
+(* Sampled results live under distinct keys (suffix [|sampleW:D] or
+   [|sampleauto]); exact summaries keep their historical keys, so a
+   cache survives turning sampling on and off. *)
 let summary_cache_key t ~bench ~kind ~input ~config =
-  Printf.sprintf "%s|%s|%s|scale%d|cfg%s" bench kind input t.scale (Cache.digest_of config)
+  let base =
+    Printf.sprintf "%s|%s|%s|scale%d|cfg%s" bench kind input t.scale (Cache.digest_of config)
+  in
+  match t.sample with None -> base | Some s -> base ^ "|sample" ^ sampling_key s
+
+(* The exact/sampled switch, shared by the serial and batched paths.
+   [pool] parallelizes the measurement windows inside one simulation —
+   only the serial path passes it (batched jobs already occupy the
+   worker domains). *)
+let simulate_with t ?pool ~config ~trace p =
+  match t.sample with
+  | None -> Wish_sim.Runner.simulate ~config ~trace p
+  | Some s ->
+    let spec =
+      match s with
+      | Sample_spec sp -> sp
+      | Sample_auto -> Wish_sim.Sampler.auto ~length:(Wish_emu.Trace.length trace)
+    in
+    fst (Wish_sim.Runner.simulate_sampled ?pool ~config ~spec ~trace p)
 
 let cached_trace t key =
   match t.cache with None -> None | Some c -> Cache.find c ~kind:"trace" ~key
@@ -252,7 +288,8 @@ let run t ~bench:name ~kind ?(input = eval_input) ?(config = Wish_sim.Config.def
         t.log
           (Printf.sprintf "simulating %s/%s input %s (%d dynamic insts)" name kind_n input
              (Wish_emu.Trace.length tr));
-        let s = Wish_sim.Runner.simulate ~config ~trace:tr p in
+        let pool = if t.sample_parallel then t.pool else None in
+        let s = simulate_with t ?pool ~config ~trace:tr p in
         store_summary t ckey s;
         s
     in
@@ -535,7 +572,7 @@ let run_batch_results ?(policy = default_policy) t jobs =
          (fun (j, tr, p) ->
            Faultpoint.cut fp_simulate;
            if Faultpoint.fires fp_slow then Unix.sleepf (Faultpoint.delay_of fp_slow);
-           Wish_sim.Runner.simulate ~config:j.job_config ~trace:tr p)
+           simulate_with t ~config:j.job_config ~trace:tr p)
          tasks)
   end;
   (* Assemble per-job outcomes, [jobs] order. *)

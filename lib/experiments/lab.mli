@@ -31,14 +31,36 @@ type t
 (** The default evaluation input label ("A"). *)
 val eval_input : string
 
-(** [create ?scale ?names ?jobs ?cache ?resume ()] — [names] restricts
-    the benchmark set; [jobs > 1] spawns that many worker domains for
-    {!run_batch}/{!prewarm} (default 1 = serial); [cache] persists traces
-    and summaries across processes; [resume] (default false, needs
-    [cache]) loads the completion journal so jobs finished by an earlier
-    interrupted run are reported as resumed. *)
+(** How the lab simulates: [Sample_auto] scales a sampling spec to each
+    trace's length ({!Wish_sim.Sampler.auto}); [Sample_spec] uses one
+    fixed spec everywhere. *)
+type sampling = Sample_auto | Sample_spec of Wish_sim.Sampler.spec
+
+(** [create ?scale ?names ?jobs ?cache ?resume ?sample ?sample_parallel ()]
+    — [names] restricts the benchmark set; [jobs > 1] spawns that many
+    worker domains for {!run_batch}/{!prewarm} (default 1 = serial);
+    [cache] persists traces and summaries across processes; [resume]
+    (default false, needs [cache]) loads the completion journal so jobs
+    finished by an earlier interrupted run are reported as resumed.
+    With [sample], every simulation runs sampled
+    ({!Wish_sim.Runner.simulate_sampled}) and summaries are cached under
+    keys carrying a [|sample...] suffix — exact results keep their
+    historical keys. [sample_parallel] additionally fans each sampled
+    run's measurement windows over the worker pool (serial {!run} path
+    only; batched jobs already occupy the domains). *)
 val create :
-  ?scale:int -> ?names:string list -> ?jobs:int -> ?cache:Cache.t -> ?resume:bool -> unit -> t
+  ?scale:int ->
+  ?names:string list ->
+  ?jobs:int ->
+  ?cache:Cache.t ->
+  ?resume:bool ->
+  ?sample:sampling ->
+  ?sample_parallel:bool ->
+  unit ->
+  t
+
+(** The sampling mode the lab was created with (None = exact). *)
+val sampling : t -> sampling option
 
 (** Worker-domain count the lab was created with (1 = serial). *)
 val jobs : t -> int

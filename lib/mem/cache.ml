@@ -57,6 +57,8 @@ let probe t ~byte_addr =
   let la = line_addr t byte_addr in
   Wish_util.Lru.mem t.lines ~set:(set_of t la) ~tag:(tag_of t la)
 
+let copy t = { t with lines = Wish_util.Lru.copy t.lines }
+
 let latency t = t.config.latency
 let accesses t = t.accesses
 let misses t = t.misses

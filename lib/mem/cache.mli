@@ -19,6 +19,10 @@ val access : t -> byte_addr:int -> bool
 (** [probe t ~byte_addr] checks residency without side effects. *)
 val probe : t -> byte_addr:int -> bool
 
+(** Independent deep copy: tag state and counters fork, the shared config
+    does not (it is immutable). *)
+val copy : t -> t
+
 val latency : t -> int
 val accesses : t -> int
 val misses : t -> int

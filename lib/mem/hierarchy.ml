@@ -65,6 +65,25 @@ let access_inst t ~now ~byte_addr =
   else if Cache.access t.l2 ~byte_addr then Cache.latency t.l2
   else Cache.latency t.l2 + memory_latency t ~now ~byte_addr
 
+(** Timing-free warming accesses: identical tag/LRU movement and hit/miss
+    accounting to [access_data]/[access_inst], with the bank busy-until
+    model left untouched (no [now] exists while warming — the whole point
+    is not to compute one). *)
+let warm_data t ~byte_addr =
+  if not (Cache.access t.l1d ~byte_addr) then ignore (Cache.access t.l2 ~byte_addr)
+
+let warm_inst t ~byte_addr =
+  if not (Cache.access t.l1i ~byte_addr) then ignore (Cache.access t.l2 ~byte_addr)
+
+let copy t =
+  {
+    t with
+    l1i = Cache.copy t.l1i;
+    l1d = Cache.copy t.l1d;
+    l2 = Cache.copy t.l2;
+    bank_free_at = Array.copy t.bank_free_at;
+  }
+
 type stats = {
   l1i_accesses : int;
   l1i_misses : int;

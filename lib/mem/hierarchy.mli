@@ -30,6 +30,15 @@ val access_data : t -> now:int -> byte_addr:int -> int
     front-end depth). *)
 val access_inst : t -> now:int -> byte_addr:int -> int
 
+(** Timing-free functional-warming accesses: same tag/LRU movement and
+    hit/miss accounting as the timed accessors, no bank timing. *)
+val warm_data : t -> byte_addr:int -> unit
+
+val warm_inst : t -> byte_addr:int -> unit
+
+(** Independent deep copy (for sampled-simulation checkpoints). *)
+val copy : t -> t
+
 type stats = {
   l1i_accesses : int;
   l1i_misses : int;

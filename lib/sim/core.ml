@@ -28,6 +28,23 @@ type fetch_path = F_correct | F_wrong | F_phantom | F_stopped
 
 exception Deadlock of string
 
+(* Decoded-µop memo: every per-static-PC fact the fetch path derives from
+   an instruction, computed once and reused for every dynamic instance.
+   A direct array over the code image (kernel images are small); the
+   toggle exists so the test suite can assert memo-on ≡ memo-off. *)
+type dinfo = {
+  d_exec_class : Uop.exec_class;
+  d_is_branch : bool;
+  d_is_cond : bool;
+  d_kind : Inst.branch_kind option;
+  d_target : int option;
+  d_is_wish : bool;
+  d_pred_dests : Reg.preg list;
+  d_complement_pair : (Reg.preg * Reg.preg) option;
+}
+
+let decode_memo_enabled = ref true
+
 (* Completion events live in a calendar wheel: one µop-id bucket per
    future cycle, indexed by [cycle land (wheel_horizon - 1)]. Scheduling
    and draining a cycle are O(1) + O(events due), with none of the
@@ -104,9 +121,21 @@ let hot_counters stats =
     c_wish_loop_retired = c "wish_loop_retired";
   }
 
+(* Long-lived microarchitectural state a sampled simulation keeps warm
+   between detailed windows and hands a window core at creation. *)
+type warm_state = {
+  warm_hybrid : Hybrid.t;
+  warm_btb : Btb.t;
+  warm_ras : Ras.t;
+  warm_conf : Confidence.t;
+  warm_loop : Loop_pred.t;
+  warm_hier : Hierarchy.t;
+}
+
 type t = {
   config : Config.t;
   code : Code.t;
+  decode : dinfo option array; (* per-static-PC µop-translation memo; [||] disables *)
   oracle : Oracle.t;
   hybrid : Hybrid.t;
   btb : Btb.t;
@@ -134,6 +163,8 @@ type t = {
   mutable feq_uops : int; (* occupancy of the fetch-to-rename delay line *)
   mutable halted : bool;
   mutable last_retire_cycle : int;
+  release_trace : bool; (* false inside a detailed sampling window *)
+  mutable retired_trace_idx : int; (* highest trace index retired so far *)
   mem_words : int;
   (* µop free pools (plain / branch-carrying): retired and squashed µops
      are reinitialized instead of reallocated, so steady-state fetch
@@ -143,18 +174,36 @@ type t = {
   mutable pool_branch : Uop.t list;
 }
 
-let create config (program : Program.t) trace =
+(** [create ?warm ?start_cursor ?start_pc ?release_trace config program
+    trace] — the default arguments give the classic whole-run core.
+    Sampled simulation opens a detailed measurement window mid-trace by
+    supplying pre-warmed long-lived state ([warm]), the trace index to
+    resume the oracle at ([start_cursor]), the matching correct-path
+    fetch PC ([start_pc]), and [release_trace:false] so the window never
+    recycles chunks the coordinating warming pass still has to read.
+    A window core starts with a cold pipeline and a reset wish-FSM — a
+    documented approximation measured by the sample-sweep artifact. *)
+let create ?warm ?(start_cursor = 0) ?start_pc ?(release_trace = true) config
+    (program : Program.t) trace =
   let stats = Stats.create () in
+  let code = Program.code program in
+  let oracle = Oracle.create code trace in
+  if start_cursor > 0 then Oracle.restore oracle start_cursor;
   {
     config;
-    code = Program.code program;
-    oracle = Oracle.create (Program.code program) trace;
-    hybrid = Hybrid.create config.Config.bpred;
-    btb = Btb.create ~entries:config.btb_entries ~ways:config.btb_ways;
-    ras = Ras.create ~entries:config.ras_entries;
-    conf = Confidence.create config.conf;
-    loop_pred = Loop_pred.create ();
-    hier = Hierarchy.create config.hier;
+    code;
+    decode = (if !decode_memo_enabled then Array.make (Code.length code) None else [||]);
+    oracle;
+    hybrid =
+      (match warm with Some w -> w.warm_hybrid | None -> Hybrid.create config.Config.bpred);
+    btb =
+      (match warm with
+      | Some w -> w.warm_btb
+      | None -> Btb.create ~entries:config.btb_entries ~ways:config.btb_ways);
+    ras = (match warm with Some w -> w.warm_ras | None -> Ras.create ~entries:config.ras_entries);
+    conf = (match warm with Some w -> w.warm_conf | None -> Confidence.create config.conf);
+    loop_pred = (match warm with Some w -> w.warm_loop | None -> Loop_pred.create ());
+    hier = (match warm with Some w -> w.warm_hier | None -> Hierarchy.create config.hier);
     rat = Rat.create ();
     rob = Ring.create config.rob_size;
     in_flight = Hashtbl.create 2048;
@@ -167,7 +216,7 @@ let create config (program : Program.t) trace =
     hot = hot_counters stats;
     cycle = 0;
     next_id = 0;
-    fetch_pc = program.entry;
+    fetch_pc = Option.value start_pc ~default:program.entry;
     fetch_path = F_correct;
     fetch_stall_until = 0;
     last_fetch_line = -1;
@@ -175,6 +224,8 @@ let create config (program : Program.t) trace =
     feq_uops = 0;
     halted = false;
     last_retire_cycle = 0;
+    release_trace;
+    retired_trace_idx = start_cursor - 1;
     mem_words = program.mem_words;
     pool_plain = [];
     pool_branch = [];
@@ -198,6 +249,33 @@ let exec_class_of (i : Inst.t) =
   | Inst.Branch _ | Inst.Jump _ | Inst.Call _ | Inst.Return | Inst.Halt -> Uop.Ec_ctrl
   | Inst.Nop -> Uop.Ec_nop
 
+let dinfo_of (inst : Inst.t) =
+  {
+    d_exec_class = exec_class_of inst;
+    d_is_branch = Inst.is_branch inst;
+    d_is_cond = Inst.is_conditional inst;
+    d_kind = Inst.branch_kind inst;
+    d_target = Inst.direct_target inst;
+    d_is_wish = Inst.is_wish inst;
+    d_pred_dests = Inst.pred_dests inst;
+    d_complement_pair =
+      (match inst.op with
+      | Inst.Cmp { dst_true; dst_false = Some pf; _ } -> Some (dst_true, pf)
+      | _ -> None);
+  }
+
+(* The fetch path decodes via this memo; [pc] is always in code range
+   there (fetch checks before reading the image). *)
+let dinfo_at t pc (inst : Inst.t) =
+  if Array.length t.decode = 0 then dinfo_of inst
+  else
+    match Array.unsafe_get t.decode pc with
+    | Some d -> d
+    | None ->
+      let d = dinfo_of inst in
+      Array.unsafe_set t.decode pc (Some d);
+      d
+
 (* Synthesized wrong-path data address: deterministic and in range. *)
 let synth_addr t pc = Wish_util.Rng.hash_int pc mod t.mem_words * 8
 
@@ -209,7 +287,7 @@ let uop_path_of = function
 
 (* Acquire a µop from the matching pool (or allocate its one-time
    skeleton) and reinitialize every field under a fresh id. *)
-let make_uop t ~pc ~(inst : Inst.t) ~path ~guard_false ~guard_forwarded ~byte_addr
+let make_uop t ~pc ~(inst : Inst.t) ~exec_class ~path ~guard_false ~guard_forwarded ~byte_addr
     ~consumes_trace ~is_select ~is_pair_compute ~trace_idx ~branch =
   let u =
     if branch then (
@@ -229,7 +307,7 @@ let make_uop t ~pc ~(inst : Inst.t) ~path ~guard_false ~guard_forwarded ~byte_ad
   u.pc <- pc;
   u.inst <- inst;
   u.path <- path;
-  u.exec_class <- exec_class_of inst;
+  u.exec_class <- exec_class;
   u.byte_addr <- byte_addr;
   u.guard_false <- guard_false;
   u.guard_forwarded <- guard_forwarded;
@@ -266,13 +344,13 @@ let trace_idx_of (entry : Oracle.entry option) =
 (* Decide the fetch-time facts of a branch: prediction, wish-mode
    transition, RAS and BTB effects. Returns the µop, the followed
    direction, the next fetch pc, any BTB bubble, and the oracle direction. *)
-let fetch_branch t ~pc ~(inst : Inst.t) ~path ~(entry : Oracle.entry option) =
+let fetch_branch t ~pc ~(inst : Inst.t) ~(di : dinfo) ~path ~(entry : Oracle.entry option) =
   let knobs = t.config.Config.knobs in
   let guard_false =
     match entry with Some e -> not e.guard_true | None -> path = F_phantom
   in
-  let is_cond = Inst.is_conditional inst in
-  let kind = Inst.branch_kind inst in
+  let is_cond = di.d_is_cond in
+  let kind = di.d_kind in
   let is_wish_hw =
     t.config.wish_hardware
     &&
@@ -280,7 +358,7 @@ let fetch_branch t ~pc ~(inst : Inst.t) ~path ~(entry : Oracle.entry option) =
     | Some (Inst.Wish_jump | Inst.Wish_join | Inst.Wish_loop) -> true
     | Some Inst.Cond | None -> false
   in
-  let static_target = Inst.direct_target inst in
+  let static_target = di.d_target in
   let lookup = if is_cond then Some (Hybrid.predict t.hybrid ~pc) else None in
   let conf_history = Hybrid.global_history t.hybrid in
   let base_dir =
@@ -388,9 +466,9 @@ let fetch_branch t ~pc ~(inst : Inst.t) ~path ~(entry : Oracle.entry option) =
     else 0
   in
   let uop =
-    make_uop t ~pc ~inst ~path:(uop_path_of path) ~guard_false ~guard_forwarded:false
-      ~byte_addr:(-1) ~consumes_trace:(entry <> None) ~trace_idx:(trace_idx_of entry)
-      ~is_select:false ~is_pair_compute:false ~branch:true
+    make_uop t ~pc ~inst ~exec_class:di.d_exec_class ~path:(uop_path_of path) ~guard_false
+      ~guard_forwarded:false ~byte_addr:(-1) ~consumes_trace:(entry <> None)
+      ~trace_idx:(trace_idx_of entry) ~is_select:false ~is_pair_compute:false ~branch:true
   in
   let b = match uop.Uop.br with Some b -> b | None -> assert false in
   b.predicted_taken <- final_dir;
@@ -420,7 +498,7 @@ let fetch_branch t ~pc ~(inst : Inst.t) ~path ~(entry : Oracle.entry option) =
 
 (* µop-translate a non-branch instruction; may yield two µops under the
    select-µop mechanism. *)
-let translate_plain t ~pc ~(inst : Inst.t) ~path ~(entry : Oracle.entry option) =
+let translate_plain t ~pc ~(inst : Inst.t) ~(di : dinfo) ~path ~(entry : Oracle.entry option) =
   let knobs = t.config.Config.knobs in
   let guard_false =
     match (entry, path) with
@@ -444,15 +522,9 @@ let translate_plain t ~pc ~(inst : Inst.t) ~path ~(entry : Oracle.entry option) 
   let forwarded =
     if inst.guard = Reg.p0 then None else Wish_fsm.forwarded_value t.fsm inst.guard
   in
-  let pdsts = Inst.pred_dests inst in
-  if pdsts <> [] then begin
-    let complement_pair =
-      match inst.op with
-      | Inst.Cmp { dst_true; dst_false = Some pf; _ } -> Some (dst_true, pf)
-      | _ -> None
-    in
-    Wish_fsm.on_decode_writes t.fsm pdsts ~complement_pair
-  end;
+  let pdsts = di.d_pred_dests in
+  if pdsts <> [] then
+    Wish_fsm.on_decode_writes t.fsm pdsts ~complement_pair:di.d_complement_pair;
   let guard_forwarded = forwarded <> None || knobs.no_depend in
   if Sys.getenv_opt "WISH_TRACE_FWD" <> None then
     Printf.eprintf "fwd pc=%d guard=%d forwarded=%b mode=%s\n" pc inst.guard
@@ -473,20 +545,20 @@ let translate_plain t ~pc ~(inst : Inst.t) ~path ~(entry : Oracle.entry option) 
     (* Computation µop executes without the guard; the select µop merges
        the computed and old values once the guard resolves. *)
     let compute =
-      make_uop t ~pc ~inst ~path:(uop_path_of path) ~guard_false ~guard_forwarded:false
-        ~byte_addr ~consumes_trace:consumes ~trace_idx:(trace_idx_of entry)
-        ~is_select:false ~is_pair_compute:true ~branch:false
+      make_uop t ~pc ~inst ~exec_class:di.d_exec_class ~path:(uop_path_of path) ~guard_false
+        ~guard_forwarded:false ~byte_addr ~consumes_trace:consumes
+        ~trace_idx:(trace_idx_of entry) ~is_select:false ~is_pair_compute:true ~branch:false
     in
     let select =
-      make_uop t ~pc ~inst ~path:(uop_path_of path) ~guard_false ~guard_forwarded:false
-        ~byte_addr ~consumes_trace:false ~trace_idx:(trace_idx_of entry) ~is_select:true
-        ~is_pair_compute:false ~branch:false
+      make_uop t ~pc ~inst ~exec_class:di.d_exec_class ~path:(uop_path_of path) ~guard_false
+        ~guard_forwarded:false ~byte_addr ~consumes_trace:false
+        ~trace_idx:(trace_idx_of entry) ~is_select:true ~is_pair_compute:false ~branch:false
     in
     [ compute; select ]
   | Config.Select_uop | Config.C_style ->
     [
-      make_uop t ~pc ~inst ~path:(uop_path_of path) ~guard_false ~guard_forwarded
-        ~byte_addr ~consumes_trace:consumes ~trace_idx:(trace_idx_of entry)
+      make_uop t ~pc ~inst ~exec_class:di.d_exec_class ~path:(uop_path_of path) ~guard_false
+        ~guard_forwarded ~byte_addr ~consumes_trace:consumes ~trace_idx:(trace_idx_of entry)
         ~is_select:false ~is_pair_compute:false ~branch:false;
     ]
 
@@ -533,6 +605,7 @@ let fetch_stage t =
         else begin
           Wish_fsm.on_fetch_pc t.fsm ~pc;
           let inst = Code.get t.code pc in
+          let di = dinfo_at t pc inst in
           let entry =
             match t.fetch_path with
             | F_correct -> (
@@ -556,7 +629,7 @@ let fetch_stage t =
             t.fetch_path <- F_stopped;
             continue := false
           | _ ->
-            let is_br = Inst.is_branch inst in
+            let is_br = di.d_is_branch in
             let drop =
               t.config.knobs.no_fetch && (not is_br)
               && (match entry with Some e -> not e.guard_true | None -> false)
@@ -566,19 +639,19 @@ let fetch_stage t =
               t.fetch_pc <- pc + 1
             end
             else if is_br then begin
-              if Inst.is_conditional inst && !cond_branches >= t.config.max_cond_branches
+              if di.d_is_cond && !cond_branches >= t.config.max_cond_branches
               then continue := false
               else begin
                 let uop, dir, target, bubble, actual_taken =
-                  fetch_branch t ~pc ~inst ~path ~entry
+                  fetch_branch t ~pc ~inst ~di ~path ~entry
                 in
                 group := uop :: !group;
                 incr gcount;
                 decr budget;
-                if Inst.is_conditional inst then incr cond_branches;
+                if di.d_is_cond then incr cond_branches;
                 incr t.hot.c_fetched;
                 (* Phantom transitions for low-confidence wish loops. *)
-                (match (path, Inst.branch_kind inst) with
+                (match (path, di.d_kind) with
                 | (F_correct | F_phantom), Some Inst.Wish_loop
                   when (match uop.br with
                        | Some b -> b.fetch_mode = Uop.Low_conf || path = F_phantom
@@ -603,7 +676,7 @@ let fetch_stage t =
               end
             end
             else begin
-              let uops = translate_plain t ~pc ~inst ~path ~entry in
+              let uops = translate_plain t ~pc ~inst ~di ~path ~entry in
               let n = match uops with [ _ ] -> 1 | _ -> List.length uops in
               List.iter (fun u -> group := u :: !group) uops;
               gcount := !gcount + n;
@@ -903,10 +976,11 @@ let resolve_branch t (u : Uop.t) =
   let b = Option.get u.br in
   b.resolved <- true;
   (* Train the BTB with taken branches (wrong-path ones excluded). *)
-  if u.path <> Uop.Wrong && b.actual_taken then
-    Btb.insert t.btb ~pc:u.pc
-      ~target:(Option.value (Inst.direct_target u.inst) ~default:(u.pc + 1))
-      ~is_wish:(Inst.is_wish u.inst);
+  (if u.path <> Uop.Wrong && b.actual_taken then
+     let di = dinfo_at t u.pc u.inst in
+     Btb.insert t.btb ~pc:u.pc
+       ~target:(Option.value di.d_target ~default:(u.pc + 1))
+       ~is_wish:di.d_is_wish);
   if u.path = Uop.Wrong then ()
   else if Uop.mispredicted b then begin
     incr t.hot.c_misp_resolved;
@@ -1069,8 +1143,13 @@ let retire_stage t =
          is younger than [u], so it was fetched after [u] consumed entry
          [u.trace_idx] — its recovery cursor, and any future oracle scan,
          sits at or above [u.trace_idx + 1]. A streaming trace may
-         therefore recycle everything below that. *)
-      if u.trace_idx >= 0 then Oracle.release t.oracle ~below:(u.trace_idx + 1);
+         therefore recycle everything below that — unless this core is a
+         detailed sampling window, whose coordinating warming pass still
+         has to read those entries and does the releasing itself. *)
+      if u.trace_idx >= 0 then begin
+        if u.trace_idx > t.retired_trace_idx then t.retired_trace_idx <- u.trace_idx;
+        if t.release_trace then Oracle.release t.oracle ~below:(u.trace_idx + 1)
+      end;
       recycle t u
     | Some _ | None -> continue := false
   done
@@ -1116,6 +1195,21 @@ let run t =
   done;
   Stats.set t.stats "cycles" t.cycle;
   t
+
+(** [run_until t ~stop_idx] — run until every trace entry below
+    [stop_idx] has been covered by a retired µop (or the program halted /
+    the cycle budget ran out). The last retire group may overshoot the
+    boundary by a few µops; callers measure with {!retired_trace_idx}
+    rather than assuming an exact stop. *)
+let run_until t ~stop_idx =
+  while (not t.halted) && t.retired_trace_idx < stop_idx - 1 && t.cycle < t.config.max_cycles do
+    step t
+  done;
+  Stats.set t.stats "cycles" t.cycle;
+  t
+
+let retired_trace_idx t = t.retired_trace_idx
+let halted t = t.halted
 
 let rob_occupancy t = Ring.length t.rob
 let cycles t = t.cycle

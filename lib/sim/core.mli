@@ -20,7 +20,38 @@ type t
 
 exception Deadlock of string
 
-val create : Config.t -> Wish_isa.Program.t -> Wish_emu.Trace.t -> t
+(** Long-lived microarchitectural state handed to a detailed sampling
+    window at creation (built and kept warm by {!Sampler}). The core
+    takes ownership of the structures — give each window its own copies. *)
+type warm_state = {
+  warm_hybrid : Wish_bpred.Hybrid.t;
+  warm_btb : Wish_bpred.Btb.t;
+  warm_ras : Wish_bpred.Ras.t;
+  warm_conf : Wish_bpred.Confidence.t;
+  warm_loop : Wish_bpred.Loop_pred.t;
+  warm_hier : Wish_mem.Hierarchy.t;
+}
+
+(** Per-static-PC µop-translation memo toggle (default on; the test
+    suite turns it off to assert identical summaries). Read at {!create}
+    time. *)
+val decode_memo_enabled : bool ref
+
+(** [create config program trace] — the classic whole-run core. Sampled
+    simulation opens a detailed measurement window mid-trace with [warm]
+    (pre-warmed predictor/cache state), [start_cursor] (trace index to
+    resume the oracle at), [start_pc] (the matching correct-path fetch
+    PC) and [release_trace:false] (the coordinating warming pass still
+    reads the window's entries and releases them itself). *)
+val create :
+  ?warm:warm_state ->
+  ?start_cursor:int ->
+  ?start_pc:int ->
+  ?release_trace:bool ->
+  Config.t ->
+  Wish_isa.Program.t ->
+  Wish_emu.Trace.t ->
+  t
 
 (** [step t] advances one cycle. Raises {!Deadlock} (with a diagnostic
     dump) if no µop has retired for a very long time. *)
@@ -29,6 +60,18 @@ val step : t -> unit
 (** [run t] executes until the program's halt retires (or the cycle
     budget is exhausted), then records the cycle count in the stats. *)
 val run : t -> t
+
+(** [run_until t ~stop_idx] — run until every trace entry below
+    [stop_idx] is covered by a retired µop (or halt / cycle budget). May
+    overshoot the boundary by up to one retire group; measure with
+    {!retired_trace_idx}. *)
+val run_until : t -> stop_idx:int -> t
+
+(** Highest trace index covered by a retired µop so far ([start_cursor]-1
+    until the first retire). *)
+val retired_trace_idx : t -> int
+
+val halted : t -> bool
 
 val cycles : t -> int
 val rob_occupancy : t -> int

@@ -58,3 +58,63 @@ let simulate ?(config = Config.default) ?(streaming = false) ?trace
   (* A streamed trace has been pulled through its final entry by the time
      the core retires Halt, so [length] is the full dynamic count here too. *)
   { s with dynamic_insts = Wish_emu.Trace.length trace }
+
+(** [simulate_sampled] — the sampled counterpart of {!simulate}: same
+    summary shape, numbers estimated from the measurement windows, plus
+    the full {!Sampler.report}. The headline counters (cycles, retired
+    µops, mispredicts) use the sampler's stratified estimates; secondary
+    counters are expanded with the plain measured-fraction ratio. *)
+let simulate_sampled ?(config = Config.default) ?pool ?(spec : Sampler.spec option)
+    ?(streaming = false) ?trace (program : Wish_isa.Program.t) =
+  let trace =
+    match trace with
+    | Some t -> t
+    | None ->
+      if streaming then Wish_emu.Trace.stream program
+      else
+        let t, _final = Wish_emu.Trace.generate program in
+        t
+  in
+  let spec =
+    match spec with
+    | Some s -> s
+    | None ->
+      (* A streaming trace's length is unknown up front; scale the auto
+         spec to it only when it is already materialized. *)
+      if Wish_emu.Trace.is_streaming trace then Sampler.default_spec
+      else Sampler.auto ~length:(Wish_emu.Trace.length trace)
+  in
+  let r = Sampler.run ?pool ~config ~spec program trace in
+  let round f = int_of_float (Float.round f) in
+  let expand x =
+    if r.Sampler.r_measured_entries = 0 then 0
+    else
+      round (float_of_int x *. float_of_int r.r_total_insts /. float_of_int r.r_measured_entries)
+  in
+  let retired_uops = round (r.r_upc *. float_of_int r.r_est_cycles) in
+  let stats = Wish_util.Stats.create () in
+  Wish_util.Stats.set stats "sample_windows" (List.length r.r_windows);
+  Wish_util.Stats.set stats "sample_measured_entries" r.r_measured_entries;
+  Wish_util.Stats.set stats "sample_measured_cycles" r.r_measured_cycles;
+  Wish_util.Stats.set stats "retired_correct" r.r_measured_uops;
+  Wish_util.Stats.set stats "retired_phantom" r.r_measured_phantom;
+  Wish_util.Stats.set stats "fetched_uops" r.r_measured_fetched;
+  Wish_util.Stats.set stats "flushes" r.r_measured_flushes;
+  Wish_util.Stats.set stats "mispredicts_retired" r.r_measured_mispredicts;
+  Wish_util.Stats.set stats "cond_branches_retired" r.r_measured_cond;
+  let summary =
+    {
+      cycles = r.r_est_cycles;
+      dynamic_insts = r.r_total_insts;
+      retired_uops;
+      retired_phantom = expand r.r_measured_phantom;
+      fetched_uops = expand r.r_measured_fetched;
+      flushes = expand r.r_measured_flushes;
+      mispredicts = round (r.r_misp_per_1k *. float_of_int retired_uops /. 1000.0);
+      cond_branches = expand r.r_measured_cond;
+      upc = r.r_upc;
+      stats;
+      mem = r.r_mem;
+    }
+  in
+  (summary, r)

@@ -26,3 +26,21 @@ val simulate :
   ?trace:Wish_emu.Trace.t ->
   Wish_isa.Program.t ->
   summary
+
+(** [simulate_sampled ?pool ?spec ...] — sampled counterpart of
+    {!simulate}: functional warming plus detailed measurement windows
+    (see {!Sampler}), returning an estimated summary of the same shape
+    together with the full sampling report. [spec] defaults to
+    {!Sampler.auto} for a materialized trace and {!Sampler.default_spec}
+    for a streaming one; [pool] fans detailed windows out in parallel
+    (materialized traces only). The summary's [stats] bag carries the
+    measured window sums ([sample_windows], [sample_measured_entries],
+    raw counter sums), not whole-run counts. *)
+val simulate_sampled :
+  ?config:Config.t ->
+  ?pool:Wish_util.Pool.t ->
+  ?spec:Sampler.spec ->
+  ?streaming:bool ->
+  ?trace:Wish_emu.Trace.t ->
+  Wish_isa.Program.t ->
+  summary * Sampler.report

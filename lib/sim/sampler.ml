@@ -1,0 +1,441 @@
+(** Interval-sampled simulation (SMARTS-style) with functional warming.
+
+    The run alternates two regimes over the dynamic trace:
+
+    - {e functional warming}: the trace cursor advances at architectural
+      speed — every long-lived structure (the five predictors, BTB, RAS,
+      and the cache hierarchy's tag state) is updated with architectural
+      outcomes, but no µop is allocated, no OOO timing is modelled and no
+      event wheel turns. Control-dependent penalties dominate pipeline
+      behaviour, so this state must never go cold between measurements.
+    - {e detailed measurement windows}: short stretches run on the real
+      {!Core}, seeded with a copy of the warm state. The first quarter of
+      each window is a detailed-warmup lead (pipeline and ROB fill) that
+      is excluded from measurement.
+
+    Cycle counts and rates are then extrapolated with a ratio estimator
+    (Σcycles/Σentries over the measured windows), and the per-window
+    spread yields a 95% confidence interval.
+
+    Windows always run on {e copies} of the warm state while warming
+    continues over the window's own entries on the live state. That makes
+    window results independent of each other, so the checkpointed
+    interval-parallel mode (fan the windows over a {!Wish_util.Pool}) is
+    byte-identical to the serial mode by construction — scheduling is the
+    only difference. Parallel mode needs a materialized trace (concurrent
+    cursors over a streaming trace would fight over chunk recycling);
+    with a streaming trace the pool is ignored. *)
+
+open Wish_isa
+module Trace = Wish_emu.Trace
+module Stats = Wish_util.Stats
+module Pool = Wish_util.Pool
+module Hybrid = Wish_bpred.Hybrid
+module Btb = Wish_bpred.Btb
+module Ras = Wish_bpred.Ras
+module Confidence = Wish_bpred.Confidence
+module Loop_pred = Wish_bpred.Loop_pred
+module Hierarchy = Wish_mem.Hierarchy
+
+type spec = { warm : int; detail : int }
+
+let default_spec = { warm = 18_000; detail = 2_000 }
+
+let spec ~warm ~detail =
+  if warm <= 0 || detail <= 0 then invalid_arg "Sampler.spec: warm and detail must be positive";
+  { warm; detail }
+
+let to_string s = Printf.sprintf "%d:%d" s.warm s.detail
+
+let of_string str =
+  match String.index_opt str ':' with
+  | None -> Error "expected W:D (e.g. 18000:2000)"
+  | Some i -> (
+    let w = String.sub str 0 i
+    and d = String.sub str (i + 1) (String.length str - i - 1) in
+    match (int_of_string_opt w, int_of_string_opt d) with
+    | Some w, Some d when w > 0 && d > 0 -> Ok { warm = w; detail = d }
+    | _ -> Error "expected positive integers W:D")
+
+(** [auto ~length] — a spec scaled to the trace: 12–64 windows (more on
+    longer traces), ≲10% of entries simulated in detail. The detail
+    floor matters: a measurement window must span many ROB drain/stall
+    periods (each up to a ROB's worth of retires), or it aliases against
+    the burst structure of retirement and the µPC estimate is garbage —
+    windows of a few hundred entries can read 5.0 where the true rate is
+    1.0. 4200 ≈ 8 ROB fills of the default 512-entry machine keeps that
+    bias under ~2%. *)
+let auto ~length =
+  let windows = max 12 (min 64 (length / 320_000)) in
+  let period = max 1 (length / windows) in
+  let detail = max 4_200 (period / 18) in
+  let lead = max (detail / 4) (min 4_200 detail) in
+  { warm = max 1_000 (period - detail - lead); detail }
+
+(* Detailed-warmup lead: entries simulated in detail at the head of each
+   window but excluded from measurement. This hides more than the
+   cold-pipeline ramp: the warm state is a close but imperfect image of
+   the real machine's (cache recency and predictor details differ
+   slightly), and measured against ground truth the discrepancy heals
+   within ~4K entries as detailed execution retrains the state. Leads
+   much below that floor leave a measurable slow bias in the windows. *)
+let lead_of s = max (s.detail / 4) (min 4_200 s.detail)
+
+type window = {
+  w_start : int; (* first measured trace index *)
+  w_entries : int;
+  w_cycles : int;
+  w_uops : int;
+  w_phantom : int;
+  w_fetched : int;
+  w_flushes : int;
+  w_mispredicts : int;
+  w_cond : int;
+}
+
+type report = {
+  r_spec : spec;
+  r_windows : window list;
+  r_total_insts : int;
+  r_measured_entries : int;
+  r_measured_cycles : int;
+  r_measured_uops : int;
+  r_measured_phantom : int;
+  r_measured_fetched : int;
+  r_measured_flushes : int;
+  r_measured_mispredicts : int;
+  r_measured_cond : int;
+  r_upc : float;
+  r_upc_ci : float; (* 95% CI half-width on the per-window µPC *)
+  r_misp_per_1k : float;
+  r_misp_ci : float;
+  r_est_cycles : int;
+  r_mem : Hierarchy.stats; (* warming hierarchy = full-trace cache stats *)
+}
+
+(* ----------------------------------------------------------------- *)
+(* Functional warming                                                  *)
+(* ----------------------------------------------------------------- *)
+
+(* The live warm state plus the warming loop's own bit of front-end
+   context (last instruction line touched, mirroring the core's
+   per-line I-cache access). *)
+type state = {
+  s_config : Config.t;
+  s_code : Code.t;
+  s_warm : Core.warm_state;
+  mutable s_last_line : int;
+}
+
+let create_state (config : Config.t) (program : Program.t) =
+  {
+    s_config = config;
+    s_code = Program.code program;
+    s_warm =
+      {
+        Core.warm_hybrid = Hybrid.create config.bpred;
+        warm_btb = Btb.create ~entries:config.btb_entries ~ways:config.btb_ways;
+        warm_ras = Ras.create ~entries:config.ras_entries;
+        warm_conf = Confidence.create config.conf;
+        warm_loop = Loop_pred.create ();
+        warm_hier = Hierarchy.create config.hier;
+      };
+    s_last_line = -1;
+  }
+
+let copy_warm (w : Core.warm_state) =
+  {
+    Core.warm_hybrid = Hybrid.copy w.warm_hybrid;
+    warm_btb = Btb.copy w.warm_btb;
+    warm_ras = Ras.copy w.warm_ras;
+    warm_conf = Confidence.copy w.warm_conf;
+    warm_loop = Loop_pred.copy w.warm_loop;
+    warm_hier = Hierarchy.copy w.warm_hier;
+  }
+
+(* One trace entry at architectural speed. Mirrors what the detailed core
+   does to long-lived state over a correct-path execution with no
+   speculation: predict-and-train conditional branches (shifting the
+   actual outcome into the histories), train the confidence estimator on
+   wish branches, the loop predictor on wish loops, insert taken branches
+   into the BTB, maintain the RAS, and touch the cache tags. *)
+let warm_entry st _i ~pc ~guard_true ~taken ~addr =
+  let w = st.s_warm in
+  let cfg = st.s_config in
+  let line = Code.byte_pc pc / cfg.Config.hier.l1i.line_bytes in
+  if line <> st.s_last_line then begin
+    Hierarchy.warm_inst w.Core.warm_hier ~byte_addr:(Code.byte_pc pc);
+    st.s_last_line <- line
+  end;
+  let inst = Code.get st.s_code pc in
+  match inst.Inst.op with
+  | Inst.Branch _ ->
+    let history = Hybrid.global_history w.warm_hybrid in
+    let kind = Inst.branch_kind inst in
+    let is_wish_hw =
+      cfg.wish_hardware
+      &&
+      match kind with
+      | Some (Inst.Wish_jump | Inst.Wish_join | Inst.Wish_loop) -> true
+      | _ -> false
+    in
+    (* A low-confidence wish branch executes predicated: no flush ever
+       repairs its speculatively-shifted history, so the architectural
+       history stream carries the predictor's output there — everywhere
+       else, recovery leaves the actual outcome. Peeking the prediction
+       (predict is read-only) decides which direction to shift. *)
+    let dir =
+      if is_wish_hw then begin
+        let predicted = (Hybrid.predict w.warm_hybrid ~pc).Hybrid.taken in
+        let conf_high =
+          if cfg.knobs.perfect_conf then predicted = taken
+          else Confidence.is_high_confidence w.warm_conf ~pc ~history
+        in
+        if conf_high then taken else predicted
+      end
+      else taken
+    in
+    let predicted = Hybrid.warm w.warm_hybrid ~dir ~pc ~taken () in
+    if is_wish_hw && not cfg.knobs.perfect_conf then
+      Confidence.warm w.warm_conf ~pc ~history ~correct:(predicted = taken);
+    if is_wish_hw && cfg.use_loop_predictor && kind = Some Inst.Wish_loop then
+      Loop_pred.warm w.warm_loop ~pc ~taken;
+    if taken then
+      Btb.insert w.warm_btb ~pc
+        ~target:(Option.value (Inst.direct_target inst) ~default:(pc + 1))
+        ~is_wish:(Inst.is_wish inst)
+  | Inst.Jump _ | Inst.Call _ | Inst.Return ->
+    (match inst.op with
+    | Inst.Call _ -> Ras.push w.warm_ras (pc + 1)
+    | Inst.Return -> ignore (Ras.pop w.warm_ras)
+    | _ -> ());
+    if taken then
+      Btb.insert w.warm_btb ~pc
+        ~target:(Option.value (Inst.direct_target inst) ~default:(pc + 1))
+        ~is_wish:false
+  | Inst.Load _ | Inst.Store _ ->
+    if guard_true && addr >= 0 then Hierarchy.warm_data w.warm_hier ~byte_addr:(addr * 8)
+  | _ -> ()
+
+(* Warm [from, until) (clipped at the end of the trace), pulling a
+   streaming trace forward as needed. Returns the first index not
+   warmed. *)
+let warm_range st trace ~from ~until =
+  let avail = if Trace.ensure trace (until - 1) then until else Trace.length trace in
+  if avail > from then
+    Trace.iter_range trace ~from ~until:avail ~f:(fun i ~pc ~guard_true ~taken ~addr ->
+        warm_entry st i ~pc ~guard_true ~taken ~addr);
+  avail
+
+(** [warm_state_at ~config program trace i] — the functional-warming
+    state after entries [0, i): what a detailed window opening at [i]
+    receives. Exposed for tests and diagnostics. *)
+let warm_state_at ~config program trace i =
+  let st = create_state config program in
+  ignore (warm_range st trace ~from:0 ~until:i);
+  st.s_warm
+
+(* ----------------------------------------------------------------- *)
+(* Detailed windows                                                    *)
+(* ----------------------------------------------------------------- *)
+
+type checkpoint = { c_start : int; c_lead : int; c_warm : Core.warm_state }
+
+(* Run one detailed window from a checkpoint: [c_lead] unmeasured entries
+   of detailed warmup, then [detail] measured entries. The counter
+   deltas between the two stops are the measurement. *)
+let run_window ~config ~program ~trace ~detail ck =
+  let start = ck.c_start in
+  let lead = ck.c_lead in
+  let start_pc = Trace.pc trace start in
+  let core =
+    Core.create ~warm:ck.c_warm ~start_cursor:start ~start_pc ~release_trace:false config
+      program trace
+  in
+  let g = Stats.get (Core.stats core) in
+  ignore (Core.run_until core ~stop_idx:(start + lead));
+  let lo = Core.retired_trace_idx core in
+  let c0 = Core.cycles core in
+  let u0 = g "retired_correct"
+  and ph0 = g "retired_phantom"
+  and f0 = g "fetched_uops"
+  and fl0 = g "flushes"
+  and m0 = g "mispredicts_retired"
+  and b0 = g "cond_branches_retired" in
+  ignore (Core.run_until core ~stop_idx:(start + lead + detail));
+  let hi = Core.retired_trace_idx core in
+  {
+    w_start = lo + 1;
+    w_entries = hi - lo;
+    w_cycles = Core.cycles core - c0;
+    w_uops = g "retired_correct" - u0;
+    w_phantom = g "retired_phantom" - ph0;
+    w_fetched = g "fetched_uops" - f0;
+    w_flushes = g "flushes" - fl0;
+    w_mispredicts = g "mispredicts_retired" - m0;
+    w_cond = g "cond_branches_retired" - b0;
+  }
+
+(* ----------------------------------------------------------------- *)
+(* Aggregation                                                         *)
+(* ----------------------------------------------------------------- *)
+
+let mean_ci xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | xs ->
+    let k = float_of_int (List.length xs) in
+    let mean = List.fold_left ( +. ) 0.0 xs /. k in
+    let var =
+      List.fold_left (fun a x -> a +. ((x -. mean) *. (x -. mean))) 0.0 xs /. (k -. 1.0)
+    in
+    1.96 *. sqrt var /. sqrt k
+
+(* Stratified two-region estimator. Programs open with an
+   initialization ramp (cold data structures, untrained predictors)
+   that can run at a fraction of steady-state µPC for a few hundred
+   thousand entries — a region systematic sampling either skips
+   entirely (positive µPC bias) or over-weights if a window there
+   counts the same as one drawn from the vastly larger steady region
+   (negative bias; both effects measure several percent on the
+   scale-sweep workloads). So the head stratum [0, period) — sampled
+   densely by {!run} — and the tail stratum [period, total) each get
+   their own ratio estimate, combined weighted by stratum length. *)
+let aggregate ~spec ~period ~total_insts ~mem windows =
+  let windows = List.filter (fun w -> w.w_entries > 0 && w.w_cycles > 0) windows in
+  let head, tail = List.partition (fun w -> w.w_start < period) windows in
+  let sum f ws = List.fold_left (fun a w -> a + f w) 0 ws in
+  let n = sum (fun w -> w.w_entries) windows in
+  let c = sum (fun w -> w.w_cycles) windows in
+  let u = sum (fun w -> w.w_uops) windows in
+  let m = sum (fun w -> w.w_mispredicts) windows in
+  let fi = float_of_int in
+  (* Stratified whole-run estimate of a per-entry quantity [f]. *)
+  let estimate f =
+    let rate ws = fi (sum f ws) /. fi (max 1 (sum (fun w -> w.w_entries) ws)) in
+    match (head, tail) with
+    | [], [] -> 0.0
+    | ws, [] | [], ws -> fi total_insts *. rate ws
+    | _ ->
+      let h_len = min total_insts period in
+      (fi h_len *. rate head) +. (fi (total_insts - h_len) *. rate tail)
+  in
+  let est_cycles = estimate (fun w -> w.w_cycles) in
+  let est_uops = estimate (fun w -> w.w_uops) in
+  let est_misp = estimate (fun w -> w.w_mispredicts) in
+  let upc = if est_cycles = 0.0 then 0.0 else est_uops /. est_cycles in
+  let misp = if est_uops = 0.0 then 0.0 else 1000.0 *. est_misp /. est_uops in
+  (* Approximate 95% CI: per-window spread within each stratum,
+     combined with the strata weights. *)
+  let strat_ci per_window =
+    let ci ws = mean_ci (List.filter_map per_window ws) in
+    match (head, tail) with
+    | [], [] -> 0.0
+    | ws, [] | [], ws -> ci ws
+    | _ ->
+      let wh = fi (min total_insts period) /. fi (max 1 total_insts) in
+      let wt = 1.0 -. wh in
+      sqrt (((wh *. ci head) ** 2.0) +. ((wt *. ci tail) ** 2.0))
+  in
+  let upc_ci = strat_ci (fun w -> Some (fi w.w_uops /. fi w.w_cycles)) in
+  let misp_ci =
+    strat_ci (fun w ->
+        if w.w_uops = 0 then None else Some (1000.0 *. fi w.w_mispredicts /. fi w.w_uops))
+  in
+  {
+    r_spec = spec;
+    r_windows = windows;
+    r_total_insts = total_insts;
+    r_measured_entries = n;
+    r_measured_cycles = c;
+    r_measured_uops = u;
+    r_measured_phantom = sum (fun w -> w.w_phantom) windows;
+    r_measured_fetched = sum (fun w -> w.w_fetched) windows;
+    r_measured_flushes = sum (fun w -> w.w_flushes) windows;
+    r_measured_mispredicts = m;
+    r_measured_cond = sum (fun w -> w.w_cond) windows;
+    r_upc = upc;
+    r_upc_ci = upc_ci;
+    r_misp_per_1k = misp;
+    r_misp_ci = misp_ci;
+    r_est_cycles = (if n = 0 then 0 else int_of_float (Float.round est_cycles));
+    r_mem = mem;
+  }
+
+(* ----------------------------------------------------------------- *)
+(* Orchestration                                                       *)
+(* ----------------------------------------------------------------- *)
+
+(** [run ?pool ~config ~spec program trace] — sample the whole trace.
+    With [pool] (and a materialized trace) the detailed windows of each
+    batch fan out across the pool's domains; results are byte-identical
+    to the serial schedule.
+
+    Placement is stratified. The head stratum [0, period) — where the
+    initialization ramp lives — is sampled by up to four windows at
+    stride period/4; the first runs from a fresh machine with no lead
+    (a cold start at entry 0 is not an approximation — it IS the real
+    machine's state there). The tail stratum is sampled systematically
+    at multiples of the period [warm + lead + detail]. A trace shorter
+    than the head stride therefore degenerates to a single full-length
+    cold window: the exact simulation. *)
+let run ?pool ~config ~spec (program : Program.t) trace =
+  let lead = lead_of spec in
+  let span = lead + spec.detail in
+  let period = spec.warm + span in
+  let head_n = max 1 (min 4 (period / span)) in
+  let stride = period / head_n in
+  let start_of idx = if idx < head_n then idx * stride else (idx - head_n + 1) * period in
+  let pool = if Trace.is_streaming trace then None else pool in
+  let batch_size = match pool with Some p -> max 2 (2 * Pool.size p) | None -> 1 in
+  let st = create_state config program in
+  let windows = ref [] (* reversed *) in
+  let pending = ref [] (* reversed *) in
+  let npending = ref 0 in
+  let do_window ck = run_window ~config ~program ~trace ~detail:spec.detail ck in
+  let flush () =
+    if !npending > 0 then begin
+      let cks = List.rev !pending in
+      pending := [];
+      npending := 0;
+      let ws = match pool with Some p -> Pool.map p do_window cks | None -> List.map do_window cks in
+      windows := List.rev_append ws !windows
+    end
+  in
+  let cursor = ref 0 in
+  let idx = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let start = start_of !idx in
+    let avail = warm_range st trace ~from:!cursor ~until:start in
+    cursor := avail;
+    if avail < start || not (Trace.ensure trace avail) then continue := false
+    else begin
+      let ck =
+        if start = 0 then
+          (* Cold window: a second fresh state (not a copy of [st] — the
+             live warming state must keep advancing independently). *)
+          { c_start = 0; c_lead = 0; c_warm = (create_state config program).s_warm }
+        else { c_start = start; c_lead = lead; c_warm = copy_warm st.s_warm }
+      in
+      pending := ck :: !pending;
+      incr npending;
+      let wtarget = start + span in
+      let avail = warm_range st trace ~from:start ~until:wtarget in
+      cursor := avail;
+      if !npending >= batch_size then begin
+        (* Every pending window lies below the warming cursor; once they
+           have run, a streaming trace can recycle everything beneath it. *)
+        flush ();
+        Trace.release trace !cursor
+      end;
+      if avail < wtarget then continue := false;
+      incr idx
+    end
+  done;
+  flush ();
+  Trace.release trace !cursor;
+  let total = Trace.length trace in
+  aggregate ~spec ~period ~total_insts:total
+    ~mem:(Hierarchy.stats st.s_warm.Core.warm_hier)
+    (List.rev !windows)

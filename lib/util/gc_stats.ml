@@ -51,24 +51,31 @@ let line s =
 
 let summary_line () = line (snapshot ())
 
-(** [peak_rss_kb ()] — the process resident-set high-water mark (VmHWM)
-    in KiB, or [-1] where /proc is unavailable. Unlike [top_heap_words]
-    this includes off-heap allocations and the runtime itself. *)
-let peak_rss_kb () =
+(** [peak_rss_kb_opt ()] — the process resident-set high-water mark
+    (VmHWM) in KiB, or [None] where it cannot be determined: /proc absent
+    (non-Linux), no VmHWM line, or a line that does not parse. Never
+    raises. Unlike [top_heap_words] this includes off-heap allocations
+    and the runtime itself. *)
+let peak_rss_kb_opt () =
   match open_in "/proc/self/status" with
-  | exception Sys_error _ -> -1
+  | exception Sys_error _ -> None
   | ic ->
     let rec scan () =
       match input_line ic with
-      | exception End_of_file -> -1
+      | exception End_of_file -> None
       | l ->
         if String.length l > 6 && String.sub l 0 6 = "VmHWM:" then
-          Scanf.sscanf (String.sub l 6 (String.length l - 6)) " %d" Fun.id
+          (* A malformed VmHWM line means the probe is absent, not an
+             error worth raising for. *)
+          Scanf.sscanf_opt (String.sub l 6 (String.length l - 6)) " %d" Fun.id
         else scan ()
     in
-    let r = scan () in
-    close_in ic;
-    r
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+        try scan () with _ -> None)
+
+(** [peak_rss_kb ()] — like {!peak_rss_kb_opt} but returns [-1] when the
+    probe is unavailable (legacy shape for printf call sites). *)
+let peak_rss_kb () = Option.value (peak_rss_kb_opt ()) ~default:(-1)
 
 (** [tune ()] — size the minor heap for simulation (32 MiB instead of the
     2 MiB default): per-cycle garbage then dies in the minor heap rather

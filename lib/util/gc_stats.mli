@@ -23,9 +23,13 @@ val line : snapshot -> string
 (** [line] of the counters since process start. *)
 val summary_line : unit -> string
 
-(** Process resident-set high-water mark (VmHWM) in KiB, or [-1] where
-    /proc is unavailable. Includes off-heap memory, unlike
+(** Process resident-set high-water mark (VmHWM) in KiB, or [None] where
+    it cannot be determined (/proc absent, no VmHWM line, malformed
+    line). Never raises. Includes off-heap memory, unlike
     [top_heap_words]. *)
+val peak_rss_kb_opt : unit -> int option
+
+(** Like {!peak_rss_kb_opt} but [-1] when unavailable. *)
 val peak_rss_kb : unit -> int
 
 (** Size the minor heap for simulation runs (32 MiB; no-op if already at

@@ -125,6 +125,21 @@ let clear t =
     t.entries;
   t.clock <- 0
 
+(** [copy t] — an independent structure with the same contents. Payloads
+    are shared (every client stores immutable payloads), but tags, recency
+    and validity evolve independently afterwards. Note [t] holds the
+    [default] closure, so a [Marshal] round-trip cannot substitute for
+    this. *)
+let copy t =
+  {
+    t with
+    entries =
+      Array.map
+        (Array.map (fun e ->
+             { tag = e.tag; valid = e.valid; stamp = e.stamp; payload = e.payload }))
+        t.entries;
+  }
+
 (** [count_valid t] returns the number of valid entries (for tests/stats). *)
 let count_valid t =
   Array.fold_left

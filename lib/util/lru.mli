@@ -34,5 +34,10 @@ val invalidate : 'a t -> set:int -> tag:int -> unit
 
 val clear : 'a t -> unit
 
+(** [copy t] — an independent structure with the same contents; payloads
+    are shared, so they should be immutable. (The structure embeds a
+    closure, so marshalling cannot substitute for this.) *)
+val copy : 'a t -> 'a t
+
 (** [count_valid t] returns the number of valid entries (tests/stats). *)
 val count_valid : 'a t -> int

@@ -1,0 +1,20 @@
+(** Minimal JSON emission for the bench harnesses' machine-readable perf
+    records. Write-only by design. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+
+(** [write_file path v] — write [v] followed by a newline. Best-effort:
+    IO errors are swallowed (a perf record must never fail its run). *)
+val write_file : string -> t -> unit
+
+(** Peak-RSS field: [Null] when the probe reported absent. *)
+val of_rss : int option -> t

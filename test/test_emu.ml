@@ -323,6 +323,39 @@ let test_stream_lookback_window_stays_readable () =
   Alcotest.(check bool) "dead chunks recycled" true
     (Trace.resident_entries s < Trace.length s)
 
+(* Release landing exactly on a chunk edge: the edge entry becomes the
+   lowest retained one. It must stay readable (the sampler opens
+   measurement windows precisely at such boundaries), the entry just
+   below must be gone, and the chunks fully covered by the release must
+   actually have been recycled. *)
+let test_stream_release_at_chunk_boundary () =
+  let p = streaming_workload ~iters:100 in
+  let m, _ = Trace.generate p in
+  let s = Trace.stream ~chunk_bits:4 p in
+  let cap = Trace.chunk_capacity s in
+  check Alcotest.int "chunk capacity" 16 cap;
+  let edge = 4 * cap in
+  Alcotest.(check bool) "trace long enough" true (Trace.ensure s (edge + cap));
+  let resident_before = Trace.resident_entries s in
+  Trace.release s edge;
+  (* The lowest retained entry — first of its chunk — reads back intact,
+     as does the rest of its chunk. *)
+  check Alcotest.int "edge entry pc" (Trace.pc m edge) (Trace.pc s edge);
+  check Alcotest.int "edge entry next_pc" (Trace.next_pc m edge) (Trace.next_pc s edge);
+  Trace.iter_range s ~from:edge ~until:(edge + cap) ~f:(fun i ~pc ~guard_true:_ ~taken:_ ~addr:_ ->
+      if pc <> Trace.pc m i then Alcotest.failf "entry %d corrupted after release" i);
+  (* Everything below the edge is dead. *)
+  (match Trace.pc s (edge - 1) with
+  | _ -> Alcotest.fail "entry below the released edge still readable"
+  | exception Invalid_argument _ -> ());
+  (* The released chunks were recycled, not merely hidden. *)
+  Alcotest.(check bool) "released chunks recycled" true
+    (Trace.resident_entries s <= resident_before - edge);
+  (* A second release below the watermark is a no-op: it must not
+     resurrect or re-request recycled chunks. *)
+  Trace.release s (edge - cap);
+  check Alcotest.int "edge entry still readable" (Trace.pc m edge) (Trace.pc s edge)
+
 let test_stream_bounded_memory () =
   let run iters = drain (Trace.stream ~chunk_bits:4 (streaming_workload ~iters)) in
   let len1, peak1 = run 100 in
@@ -406,6 +439,8 @@ let () =
           Alcotest.test_case "look-back window readable" `Quick
             test_stream_lookback_window_stays_readable;
           Alcotest.test_case "bounded memory" `Quick test_stream_bounded_memory;
+          Alcotest.test_case "release at chunk boundary" `Quick
+            test_stream_release_at_chunk_boundary;
         ] );
       ( "profile",
         [

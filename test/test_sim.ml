@@ -303,6 +303,77 @@ let test_icache_cold_stalls_counted () =
   let s = simulate Asm.[ movi 3 1; halt ] in
   Alcotest.(check bool) "first line fetch missed" true (s.mem.l1i_misses >= 1)
 
+(* Decoded-µop memo ------------------------------------------------------------------- *)
+
+let test_decode_memo_identical () =
+  (* The per-PC decode memo is a pure cache: switching it off must not
+     change a single architectural or timing number. *)
+  let run () = simulate ~data:coin_data (hammock_kernel ~wish:true ~iters:300) in
+  let on = run () in
+  Core.decode_memo_enabled := false;
+  let off = Fun.protect ~finally:(fun () -> Core.decode_memo_enabled := true) run in
+  Alcotest.(check (list int)) "summary identical" (summary_fields on) (summary_fields off);
+  check Alcotest.int "cond branches identical" on.cond_branches off.cond_branches;
+  check Alcotest.int "fetched uops identical" on.fetched_uops off.fetched_uops
+
+(* Sampled simulation ----------------------------------------------------------------- *)
+
+let sampled_fixture =
+  lazy
+    (let program =
+       Program.create ~mem_words:(1 lsl 14) ~data:coin_data
+         (Asm.assemble (hammock_kernel ~wish:true ~iters:2000))
+     in
+     let trace, _ = Wish_emu.Trace.generate program in
+     (program, trace))
+
+let sampled_spec = Sampler.spec ~warm:1_000 ~detail:5_000
+
+let test_sampler_report_well_formed () =
+  let program, trace = Lazy.force sampled_fixture in
+  let s, r = Runner.simulate_sampled ~spec:sampled_spec ~trace program in
+  Alcotest.(check bool) "windows nonempty" true (r.r_windows <> []);
+  let sum f = List.fold_left (fun acc w -> acc + f w) 0 r.r_windows in
+  check Alcotest.int "entries are window sum" r.r_measured_entries
+    (sum (fun w -> w.Sampler.w_entries));
+  check Alcotest.int "cycles are window sum" r.r_measured_cycles
+    (sum (fun w -> w.Sampler.w_cycles));
+  check Alcotest.int "uops are window sum" r.r_measured_uops (sum (fun w -> w.Sampler.w_uops));
+  Alcotest.(check bool) "estimated cycles positive" true (r.r_est_cycles > 0);
+  Alcotest.(check bool) "measured a strict subset" true
+    (r.r_measured_entries < r.r_total_insts);
+  check Alcotest.int "summary carries the estimate" r.r_est_cycles s.cycles;
+  check Alcotest.int "summary spans the whole trace" r.r_total_insts s.dynamic_insts
+
+let test_sampler_parallel_identical () =
+  let program, trace = Lazy.force sampled_fixture in
+  let _, r = Runner.simulate_sampled ~spec:sampled_spec ~trace program in
+  let pool = Wish_util.Pool.create ~size:2 () in
+  let _, r_par =
+    Fun.protect
+      ~finally:(fun () -> Wish_util.Pool.shutdown pool)
+      (fun () -> Runner.simulate_sampled ~pool ~spec:sampled_spec ~trace program)
+  in
+  Alcotest.(check bool) "window list identical" true (r_par.r_windows = r.r_windows);
+  check (Alcotest.float 0.0) "uPC identical" r.r_upc r_par.r_upc;
+  check Alcotest.int "estimated cycles identical" r.r_est_cycles r_par.r_est_cycles
+
+let test_sampler_tiny_trace_is_exact () =
+  (* A detail window longer than the whole trace degenerates to one cold
+     window starting at entry 0 — i.e. the exact simulation. *)
+  let program =
+    Program.create ~mem_words:(1 lsl 14) ~data:coin_data
+      (Asm.assemble (hammock_kernel ~wish:true ~iters:100))
+  in
+  let trace, _ = Wish_emu.Trace.generate program in
+  let exact = Runner.simulate ~trace program in
+  let spec = Sampler.spec ~warm:1_000 ~detail:1_000_000 in
+  let s, r = Runner.simulate_sampled ~spec ~trace program in
+  check Alcotest.int "one cold window" 1 (List.length r.r_windows);
+  check Alcotest.int "every entry measured" r.r_total_insts r.r_measured_entries;
+  check Alcotest.int "cycle estimate is the exact count" exact.cycles r.r_est_cycles;
+  check (Alcotest.float 1e-6) "uPC is the exact uPC" exact.upc s.upc
+
 let () =
   Alcotest.run "wish_sim"
     [
@@ -348,4 +419,12 @@ let () =
         ] );
       ("select", [ Alcotest.test_case "select-uop expands" `Quick test_select_uop_expands ]);
       ("icache", [ Alcotest.test_case "cold stall" `Quick test_icache_cold_stalls_counted ]);
+      ( "decode_memo",
+        [ Alcotest.test_case "memo on/off identical" `Quick test_decode_memo_identical ] );
+      ( "sampling",
+        [
+          Alcotest.test_case "report well-formed" `Quick test_sampler_report_well_formed;
+          Alcotest.test_case "parallel == serial" `Quick test_sampler_parallel_identical;
+          Alcotest.test_case "tiny trace is exact" `Quick test_sampler_tiny_trace_is_exact;
+        ] );
     ]
