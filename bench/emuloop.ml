@@ -1,0 +1,239 @@
+(* CPU-time A/B harness for the architectural emulator: runs gzip and mcf
+   to completion through the three emulation paths —
+
+     interp    the allocating [Exec.step] loop (the original seed path)
+     noalloc   [Exec.step_into] with one reused out-record
+     compiled  [Compiled.run_to_halt], pre-decoded basic blocks
+
+   — in both execution modes. Each case first does an untimed
+   verification pass that folds every step's facts into a checksum and
+   requires all three paths to agree on the stream and on the
+   architectural outcome; the timed region then measures emulation
+   alone (per-step facts are still produced — interp allocates its
+   record, the others fill the shared out-record — but no consumer is
+   attached, which is the Trace/Profile fast-forward configuration).
+   Reports insts/sec, ns/inst and GC pressure per path plus the
+   compiled-vs-interp speedup. Twin JSON report in BENCH_emu.json.
+   Usage: emuloop.exe [--gc-tune] [--scale N] [ITERS]
+   (defaults: scale 10, 3 timed runs per case). *)
+
+module Gc_stats = Wish_util.Gc_stats
+module State = Wish_emu.State
+module Exec = Wish_emu.Exec
+module Compiled = Wish_emu.Compiled
+
+(* Fold one step's facts into a running checksum. All three paths must
+   agree on the folded stream, not just the final state. *)
+let[@inline] mix acc ~pc ~guard_true ~taken ~next_pc ~addr =
+  ((acc * 31) + pc)
+  lxor (next_pc + (7 * (addr + 1)) + (if guard_true then 3 else 0) + if taken then 13 else 0)
+
+(* Verification runners: full fact-stream checksum per path. *)
+
+let verify_interp mode code st =
+  let acc = ref 0 in
+  while not st.State.halted do
+    let s = Exec.step mode code st in
+    acc :=
+      mix !acc ~pc:s.Exec.pc ~guard_true:s.guard_true ~taken:s.taken ~next_pc:s.next_pc
+        ~addr:s.addr
+  done;
+  !acc
+
+let verify_noalloc mode code st =
+  let o = Exec.make_out () in
+  let acc = ref 0 in
+  while not st.State.halted do
+    Exec.step_into mode code st o;
+    acc :=
+      mix !acc ~pc:o.Exec.o_pc ~guard_true:o.o_guard_true ~taken:o.o_taken ~next_pc:o.o_next_pc
+        ~addr:o.o_addr
+  done;
+  !acc
+
+let verify_compiled compiled st =
+  let o = Exec.make_out () in
+  let acc = ref 0 in
+  let sink (o : Exec.out) =
+    acc :=
+      mix !acc ~pc:o.o_pc ~guard_true:o.o_guard_true ~taken:o.o_taken ~next_pc:o.o_next_pc
+        ~addr:o.o_addr
+  in
+  Compiled.run_to_halt compiled st o ~sink ~fuel:max_int;
+  !acc
+
+(* Timed runners: emulation only, no per-step consumer. *)
+
+let run_interp mode code st =
+  while not st.State.halted do
+    ignore (Exec.step mode code st)
+  done
+
+let run_noalloc mode code st =
+  let o = Exec.make_out () in
+  while not st.State.halted do
+    Exec.step_into mode code st o
+  done
+
+let run_compiled compiled st =
+  let o = Exec.make_out () in
+  Compiled.run_to_halt compiled st o ~sink:Compiled.no_sink ~fuel:max_int
+
+(* Sample size: short workloads rerun until every path has emulated at
+   least this many instructions, or the Sys.time signal drowns in
+   scheduling noise on a busy box. *)
+let min_insts = 8_000_000
+
+(* Interleaved timing cycles per case: every path runs one timed batch
+   per cycle, so a slow window on a shared box taxes all paths alike
+   instead of whichever one it happened to land on. *)
+let cycles = 8
+
+(* Time each runner in [fs] over fresh runs (one untimed warmup each).
+   Work is split into [cycles] round-robin batches; each batch is timed
+   as one segment and the best (minimum) per-instruction time across a
+   path's segments is reported — the minimum is the reading least
+   polluted by scheduler interference, and every path is reduced the
+   same way. States are created untimed per batch so even mcf's 8 MB
+   images never pile up; state construction and the outcome fold stay
+   outside the timed region — we are measuring emulation, and both would
+   dilute every path equally. Returns
+   (retired, per-path (best ns/inst, mean minor words/inst)). *)
+let time_paths ~iters ~program (fs : (State.t -> unit) array) =
+  let st0 = State.create program in
+  fs.(0) st0;
+  let retired = st0.State.retired in
+  Array.iteri (fun j f -> if j > 0 then f (State.create program)) fs;
+  let rounds = max iters ((min_insts + retired - 1) / retired) in
+  let batch = (rounds + cycles - 1) / cycles in
+  let n = Array.length fs in
+  let best = Array.make n infinity
+  and minor = Array.make n 0.0
+  and done_ = Array.make n 0 in
+  for _ = 1 to cycles do
+    Array.iteri
+      (fun j f ->
+        let b = min batch (rounds - done_.(j)) in
+        if b > 0 then begin
+          let states = Array.init b (fun _ -> State.create program) in
+          let g0 = Gc_stats.snapshot () in
+          let t0 = Sys.time () in
+          for k = 0 to b - 1 do
+            f states.(k)
+          done;
+          let seg = Sys.time () -. t0 in
+          best.(j) <- min best.(j) (1e9 *. seg /. float_of_int (b * retired));
+          minor.(j) <-
+            minor.(j) +. (Gc_stats.diff g0 (Gc_stats.snapshot ())).Gc_stats.minor_words;
+          Array.iter
+            (fun (st : State.t) ->
+              if (not st.halted) || st.retired <> retired then
+                failwith "emuloop: non-deterministic run")
+            states;
+          done_.(j) <- done_.(j) + b
+        end)
+      fs
+  done;
+  ( retired,
+    Array.init n (fun j -> (best.(j), minor.(j) /. float_of_int (done_.(j) * retired))) )
+
+let mode_tag = function Exec.Architectural -> "arch" | Exec.Predicate_through -> "pt"
+
+let bench_case ~iters ~program ~name mode =
+  let code = Wish_isa.Program.code program in
+  let compiled = Compiled.compile ~mode code in
+  (* Untimed identity gate: same fact stream, same outcome, all paths. *)
+  let fact_run f =
+    let st = State.create program in
+    let sum = f st in
+    (sum, State.outcome st)
+  in
+  let gold = fact_run (verify_interp mode code) in
+  if
+    fact_run (verify_noalloc mode code) <> gold
+    || fact_run (fun st -> verify_compiled compiled st) <> gold
+  then begin
+    Printf.eprintf "FAIL %s/%s: emulation paths disagree\n" name (mode_tag mode);
+    exit 1
+  end;
+  let retired, timings =
+    time_paths ~iters ~program
+      [| run_interp mode code; run_noalloc mode code; run_compiled compiled |]
+  in
+  let i_ns, i_mw = timings.(0) in
+  let n_ns, n_mw = timings.(1) in
+  let c_ns, c_mw = timings.(2) in
+  let case = Printf.sprintf "%s_%s" name (mode_tag mode) in
+  let speedup = i_ns /. c_ns in
+  Printf.printf
+    "%-10s %9d insts  interp %6.1f ns/i (%5.2f w/i)  noalloc %6.1f ns/i (%5.2f w/i)  compiled %6.1f ns/i (%5.2f w/i)  %5.2fx (%4.1f Mi/s)\n%!"
+    case retired i_ns i_mw n_ns n_mw c_ns c_mw speedup
+    (1e3 /. c_ns)
+  [@ocamlformat "disable"];
+  let open Wish_util.Perf_json in
+  ( speedup,
+    ( case,
+      Obj
+        [
+          ("insts", Int retired);
+          ("blocks", Int (Compiled.block_count compiled));
+          ("mean_block_len", Float (Compiled.mean_block_len compiled));
+          ("interp_ns_per_inst", Float i_ns);
+          ("interp_minor_words_per_inst", Float i_mw);
+          ("noalloc_ns_per_inst", Float n_ns);
+          ("noalloc_minor_words_per_inst", Float n_mw);
+          ("compiled_ns_per_inst", Float c_ns);
+          ("compiled_minor_words_per_inst", Float c_mw);
+          ("compiled_minsts_per_s", Float (1e3 /. c_ns));
+          ("speedup_vs_interp", Float speedup);
+          ("speedup_vs_noalloc", Float (n_ns /. c_ns));
+        ] ) )
+
+let program_for ~scale name =
+  let bench = Wish_workloads.Workloads.find ~scale name in
+  let bins =
+    Wish_compiler.Compiler.compile_all ~mem_words:bench.mem_words ~name:bench.name
+      ~profile_data:(Wish_workloads.Bench.profile_data bench) bench.ast
+  in
+  Wish_workloads.Bench.program_for bench
+    (Wish_compiler.Compiler.binary bins Wish_compiler.Policy.Wish_jjl)
+    "A"
+
+let () =
+  let rec parse (scale, iters, tune) = function
+    | [] -> (scale, iters, tune)
+    | "--scale" :: v :: rest -> parse (int_of_string v, iters, tune) rest
+    | "--gc-tune" :: rest -> parse (scale, iters, true) rest
+    | a :: rest ->
+      parse (scale, Option.fold ~none:iters ~some:Fun.id (int_of_string_opt a), tune) rest
+  in
+  let scale, iters, gc_tune = parse (10, 3, false) (List.tl (Array.to_list Sys.argv)) in
+  if gc_tune then Gc_stats.tune ();
+  let wall0 = Unix.gettimeofday () in
+  let cases =
+    List.concat_map
+      (fun name ->
+        let program = program_for ~scale name in
+        List.map
+          (fun mode -> bench_case ~iters ~program ~name mode)
+          [ Exec.Architectural; Exec.Predicate_through ])
+      [ "gzip"; "mcf" ]
+  in
+  let min_speedup = List.fold_left (fun m (s, _) -> min m s) infinity cases in
+  Printf.printf "gc: %s; peak RSS %d KiB; min speedup %.2fx\n%!" (Gc_stats.summary_line ())
+    (Gc_stats.peak_rss_kb ()) min_speedup;
+  let open Wish_util.Perf_json in
+  let g = Gc_stats.snapshot () in
+  write_file "BENCH_emu.json"
+    (Obj
+       [
+         ("bench", String "emuloop");
+         ("scale", Int scale);
+         ("iters", Int iters);
+         ("wall_s", Float (Unix.gettimeofday () -. wall0));
+         ("min_speedup", Float min_speedup);
+         ("minor_words", Float g.minor_words);
+         ("major_words", Float g.major_words);
+         ("peak_rss_kb", of_rss (Gc_stats.peak_rss_kb_opt ()));
+         ("cases", Obj (List.map snd cases));
+       ])

@@ -15,10 +15,11 @@ module Figures = Wish_experiments.Figures
 module Ablations = Wish_experiments.Ablations
 module Cache = Wish_experiments.Cache
 
-let run names scale verbose benchmarks csv_dir jobs no_cache gc_tune timeout retries keep_going
-    resume sample sample_parallel =
+let run names scale verbose benchmarks csv_dir jobs no_cache gc_tune emu_interp timeout retries
+    keep_going resume sample sample_parallel =
   Wish_util.Faultpoint.arm_from_env ();
   if gc_tune then Wish_util.Gc_stats.tune ();
+  Wish_emu.Trace.use_interpreter := emu_interp;
   let sample =
     match sample with
     | None -> None
@@ -201,6 +202,12 @@ let run_term =
     Arg.(value & flag
          & info [ "gc-tune" ] ~doc:"Size the OCaml minor heap for long simulation runs")
   in
+  let emu_interp =
+    Arg.(value & flag
+         & info [ "emu-interp" ]
+             ~doc:"Generate traces with the interpreted emulator instead of the compiled \
+                   one (A/B lever; outputs are identical, only slower)")
+  in
   let timeout =
     Arg.(value & opt (some float) None
          & info [ "timeout" ]
@@ -234,7 +241,7 @@ let run_term =
   in
   Term.(
     const run $ names $ scale $ verbose $ benchmarks $ csv_dir $ jobs $ no_cache $ gc_tune
-    $ timeout $ retries $ keep_going $ resume $ sample $ sample_parallel)
+    $ emu_interp $ timeout $ retries $ keep_going $ resume $ sample $ sample_parallel)
 
 let cmd =
   Cmd.v (Cmd.info "experiments" ~doc:"Regenerate the wish-branches paper's tables and figures")

@@ -8,10 +8,11 @@ open Cmdliner
 module Lab = Wish_experiments.Lab
 
 let run bench_name kind_name input scale asm_file rob stages mech_select wish_hw perfect_bp
-    perfect_conf no_depend no_fetch streaming sample sample_parallel jobs gc_tune show_stats
-    show_code =
+    perfect_conf no_depend no_fetch streaming sample sample_parallel jobs gc_tune emu_interp
+    show_stats show_code =
   Wish_util.Faultpoint.arm_from_env ();
   if gc_tune then Wish_util.Gc_stats.tune ();
+  Wish_emu.Trace.use_interpreter := emu_interp;
   let sample_spec =
     (* [None]: exact. [Some None]: sampled, auto spec. [Some (Some s)]:
        sampled with an explicit W:D spec. *)
@@ -169,12 +170,19 @@ let cmd =
     Arg.(value & flag
          & info [ "gc-tune" ] ~doc:"Size the OCaml minor heap for long simulation runs")
   in
+  let emu_interp =
+    Arg.(value & flag
+         & info [ "emu-interp" ]
+             ~doc:"Generate traces with the interpreted emulator instead of the compiled \
+                   one (A/B lever; outputs are identical, only slower)")
+  in
   let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Dump raw statistics counters") in
   let code = Arg.(value & flag & info [ "code" ] ~doc:"Print the binary's code listing") in
   Cmd.v
     (Cmd.info "wishsim" ~doc:"Cycle-level simulation of wish-branch binaries")
     Term.(
       const run $ bench $ kind $ input $ scale $ asm_file $ rob $ stages $ mech $ wish_hw $ pbp
-      $ pcf $ nd $ nf $ streaming $ sample $ sample_parallel $ jobs $ gc_tune $ stats $ code)
+      $ pcf $ nd $ nf $ streaming $ sample $ sample_parallel $ jobs $ gc_tune $ emu_interp
+      $ stats $ code)
 
 let () = exit (Cmd.eval cmd)

@@ -25,8 +25,20 @@ type step = {
   addr : int; (* accessed memory word address, or -1 *)
 }
 
+(** The same facts as a caller-supplied mutable record, reused across
+    steps so the emulator's per-instruction loop allocates nothing. *)
+type out = {
+  mutable o_pc : int;
+  mutable o_guard_true : bool;
+  mutable o_taken : bool;
+  mutable o_next_pc : int;
+  mutable o_addr : int;
+}
+
+let make_out () = { o_pc = 0; o_guard_true = false; o_taken = false; o_next_pc = 0; o_addr = -1 }
+
 let eval_operand (st : State.t) = function
-  | Inst.Reg r -> State.read_reg st r
+  | Inst.Reg r -> State.fast_read_reg st r
   | Inst.Imm n -> n
 
 let eval_alu op a b =
@@ -49,72 +61,92 @@ let eval_cmp op a b =
   | Inst.Gt -> a > b
   | Inst.Ge -> a >= b
 
-(** [step mode code st] executes the instruction at [st.pc], updates [st]
-    and returns the dynamic facts. Must not be called when [st.halted]. *)
-let step mode code (st : State.t) =
-  assert (not st.halted);
-  let pc = st.pc in
+(** [step_at mode code st ~pc o] executes the instruction at [pc]: applies
+    its state effects, fills [o] with the dynamic facts, and sets [st.pc]
+    to the successor. Does NOT touch [st.retired] — bookkeeping belongs to
+    the caller ({!step_into} counts one instruction at a time; the block
+    emulator counts whole blocks). *)
+let step_at mode code (st : State.t) ~pc (o : out) =
   let i = Code.get code pc in
-  let guard_true = State.read_pred st i.guard in
+  let guard_true = State.fast_read_pred st i.guard in
   let fall = pc + 1 in
-  let result =
-    if not guard_true then begin
-      (* Architectural NOP — except cmp.unc, which clears both destination
-         predicates when its guard is false (IA-64 semantics). *)
-      (match i.op with
-      | Inst.Cmp { dst_true; dst_false; unc = true; _ } ->
-        State.write_pred st dst_true false;
-        (match dst_false with Some p -> State.write_pred st p false | None -> ())
-      | _ -> ());
-      { pc; guard_true = false; taken = false; next_pc = fall; addr = -1 }
-    end
-    else
-      match i.op with
-      | Inst.Alu { op; dst; src1; src2 } ->
-        let v = eval_alu op (State.read_reg st src1) (eval_operand st src2) in
-        State.write_reg st dst v;
-        { pc; guard_true; taken = false; next_pc = fall; addr = -1 }
-      | Inst.Cmp { op; dst_true; dst_false; src1; src2; _ } ->
-        let v = eval_cmp op (State.read_reg st src1) (eval_operand st src2) in
-        State.write_pred st dst_true v;
-        (match dst_false with Some p -> State.write_pred st p (not v) | None -> ());
-        { pc; guard_true; taken = false; next_pc = fall; addr = -1 }
-      | Inst.Pset { dst; value } ->
-        State.write_pred st dst value;
-        { pc; guard_true; taken = false; next_pc = fall; addr = -1 }
-      | Inst.Load { dst; base; offset } ->
-        let addr = State.read_reg st base + offset in
-        State.write_reg st dst (Memory.read st.mem addr);
-        { pc; guard_true; taken = false; next_pc = fall; addr }
-      | Inst.Store { src; base; offset } ->
-        let addr = State.read_reg st base + offset in
-        Memory.write st.mem addr (State.read_reg st src);
-        { pc; guard_true; taken = false; next_pc = fall; addr }
-      | Inst.Branch { kind; target } ->
-        (* A guarded branch is taken iff its guard holds, and we only reach
-           here with a true guard. In predicate-through mode wish jumps and
-           joins fall through; the code they skip is all false-guarded. *)
-        let follow =
-          match (mode, kind) with
-          | Predicate_through, (Inst.Wish_jump | Inst.Wish_join) -> fall
-          | _, (Inst.Cond | Inst.Wish_jump | Inst.Wish_join | Inst.Wish_loop) -> target
-        in
-        { pc; guard_true; taken = true; next_pc = follow; addr = -1 }
-      | Inst.Jump { target } -> { pc; guard_true; taken = true; next_pc = target; addr = -1 }
-      | Inst.Call { target } ->
-        State.push_ra st fall;
-        { pc; guard_true; taken = true; next_pc = target; addr = -1 }
-      | Inst.Return ->
-        let target = State.pop_ra st in
-        { pc; guard_true; taken = true; next_pc = target; addr = -1 }
-      | Inst.Halt ->
-        st.halted <- true;
-        { pc; guard_true; taken = false; next_pc = fall; addr = -1 }
-      | Inst.Nop -> { pc; guard_true; taken = false; next_pc = fall; addr = -1 }
-  in
-  st.pc <- result.next_pc;
-  st.retired <- st.retired + 1;
-  result
+  o.o_pc <- pc;
+  o.o_guard_true <- guard_true;
+  o.o_taken <- false;
+  o.o_next_pc <- fall;
+  o.o_addr <- -1;
+  (if not guard_true then
+     (* Architectural NOP — except cmp.unc, which clears both destination
+        predicates when its guard is false (IA-64 semantics). *)
+     match i.op with
+     | Inst.Cmp { dst_true; dst_false; unc = true; _ } ->
+       State.fast_write_pred st dst_true false;
+       (match dst_false with Some p -> State.fast_write_pred st p false | None -> ())
+     | _ -> ()
+   else
+     match i.op with
+     | Inst.Alu { op; dst; src1; src2 } ->
+       let v = eval_alu op (State.fast_read_reg st src1) (eval_operand st src2) in
+       State.fast_write_reg st dst v
+     | Inst.Cmp { op; dst_true; dst_false; src1; src2; _ } ->
+       let v = eval_cmp op (State.fast_read_reg st src1) (eval_operand st src2) in
+       State.fast_write_pred st dst_true v;
+       (match dst_false with Some p -> State.fast_write_pred st p (not v) | None -> ())
+     | Inst.Pset { dst; value } -> State.fast_write_pred st dst value
+     | Inst.Load { dst; base; offset } ->
+       let addr = State.fast_read_reg st base + offset in
+       State.fast_write_reg st dst (Memory.read st.mem addr);
+       o.o_addr <- addr
+     | Inst.Store { src; base; offset } ->
+       let addr = State.fast_read_reg st base + offset in
+       Memory.write st.mem addr (State.fast_read_reg st src);
+       o.o_addr <- addr
+     | Inst.Branch { kind; target } ->
+       (* A guarded branch is taken iff its guard holds, and we only reach
+          here with a true guard. In predicate-through mode wish jumps and
+          joins fall through; the code they skip is all false-guarded. *)
+       let follow =
+         match (mode, kind) with
+         | Predicate_through, (Inst.Wish_jump | Inst.Wish_join) -> fall
+         | _, (Inst.Cond | Inst.Wish_jump | Inst.Wish_join | Inst.Wish_loop) -> target
+       in
+       o.o_taken <- true;
+       o.o_next_pc <- follow
+     | Inst.Jump { target } ->
+       o.o_taken <- true;
+       o.o_next_pc <- target
+     | Inst.Call { target } ->
+       State.push_ra st fall;
+       o.o_taken <- true;
+       o.o_next_pc <- target
+     | Inst.Return ->
+       let target = State.pop_ra st in
+       o.o_taken <- true;
+       o.o_next_pc <- target
+     | Inst.Halt -> st.halted <- true
+     | Inst.Nop -> ());
+  st.pc <- o.o_next_pc
+
+(** [step_into mode code st o] executes the instruction at [st.pc],
+    updates [st] and writes the dynamic facts into [o] — the allocation-free
+    form of {!step}. Must not be called when [st.halted]. *)
+let step_into mode code (st : State.t) (o : out) =
+  assert (not st.halted);
+  step_at mode code st ~pc:st.pc o;
+  st.retired <- st.retired + 1
+
+(** [step mode code st] — thin allocating wrapper over {!step_into} for
+    callers that want an immutable record per instruction. *)
+let step mode code (st : State.t) =
+  let o = make_out () in
+  step_into mode code st o;
+  {
+    pc = o.o_pc;
+    guard_true = o.o_guard_true;
+    taken = o.o_taken;
+    next_pc = o.o_next_pc;
+    addr = o.o_addr;
+  }
 
 exception Out_of_fuel of int
 
@@ -123,8 +155,9 @@ exception Out_of_fuel of int
 let run ?(mode = Architectural) ?(fuel = 200_000_000) program =
   let st = State.create program in
   let code = Program.code program in
+  let o = make_out () in
   while not st.halted do
     if st.retired >= fuel then raise (Out_of_fuel fuel);
-    ignore (step mode code st)
+    step_into mode code st o
   done;
   st

@@ -22,11 +22,34 @@ type step = {
   addr : int;  (** accessed memory word address, or -1 *)
 }
 
+(** The same facts as a caller-supplied mutable record, reused across
+    steps so per-instruction emulation allocates nothing. *)
+type out = {
+  mutable o_pc : int;
+  mutable o_guard_true : bool;
+  mutable o_taken : bool;
+  mutable o_next_pc : int;
+  mutable o_addr : int;
+}
+
+val make_out : unit -> out
 val eval_alu : Wish_isa.Inst.aluop -> int -> int -> int
 val eval_cmp : Wish_isa.Inst.cmpop -> int -> int -> bool
 
-(** [step mode code st] executes the instruction at [st.pc], updates [st]
-    and returns the dynamic facts. Must not be called when [st.halted]. *)
+(** [step_at mode code st ~pc o] executes the instruction at [pc]: state
+    effects, facts into [o], [st.pc] set to the successor. Does NOT touch
+    [st.retired] — bookkeeping belongs to the caller ({!step_into} counts
+    single instructions; {!Compiled} counts whole blocks). *)
+val step_at : mode -> Wish_isa.Code.t -> State.t -> pc:int -> out -> unit
+
+(** [step_into mode code st o] executes the instruction at [st.pc],
+    updates [st] (including [retired]) and writes the facts into [o] —
+    the allocation-free form of {!step}. Must not be called when
+    [st.halted]. *)
+val step_into : mode -> Wish_isa.Code.t -> State.t -> out -> unit
+
+(** [step mode code st] — thin allocating wrapper over {!step_into} for
+    callers that want an immutable record per instruction. *)
 val step : mode -> Wish_isa.Code.t -> State.t -> step
 
 exception Out_of_fuel of int

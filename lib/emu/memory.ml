@@ -14,13 +14,20 @@ let of_program (p : Wish_isa.Program.t) =
 
 let size t = Array.length t.words
 
-let read t addr =
-  if addr < 0 || addr >= Array.length t.words then raise (Fault addr);
-  t.words.(addr)
+(* The explicit fault check subsumes the bounds check, so the access
+   itself is unchecked — memory is the emulator's hottest dynamic-index
+   path and would otherwise pay the range test twice. The raise is kept
+   out of line so [read]/[write] stay small enough for the non-flambda
+   compiler to inline them into the emulator's load/store closures. *)
+let[@inline never] fault addr = raise (Fault addr)
 
-let write t addr v =
-  if addr < 0 || addr >= Array.length t.words then raise (Fault addr);
-  t.words.(addr) <- v
+let[@inline] read t addr =
+  if addr < 0 || addr >= Array.length t.words then fault addr
+  else Array.unsafe_get t.words addr
+
+let[@inline] write t addr v =
+  if addr < 0 || addr >= Array.length t.words then fault addr
+  else Array.unsafe_set t.words addr v
 
 (** [checksum t] folds the whole memory into one value; used as the golden
     output when comparing binaries for architectural equivalence. *)

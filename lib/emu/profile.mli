@@ -17,11 +17,14 @@ type t = {
 
 val create : unit -> t
 
-(** [record t code step] folds one executed instruction into the profile.
-    The architectural direction of a guarded branch is its guard. *)
-val record : t -> Wish_isa.Code.t -> Exec.step -> unit
+(** [record t code out] folds one executed instruction (its facts read
+    from the shared out-record) into the profile. The architectural
+    direction of a guarded branch is its guard. *)
+val record : t -> Wish_isa.Code.t -> Exec.out -> unit
 
-(** [of_program ?fuel program] profiles a full architectural run. *)
+(** [of_program ?fuel program] profiles a full architectural run through
+    the compiled emulator ({!Trace.use_interpreter} falls back to the
+    reference interpreter; counts are identical either way). *)
 val of_program : ?fuel:int -> Wish_isa.Program.t -> t * State.t
 
 val taken_rate : t -> int -> float

@@ -51,10 +51,19 @@ type chunk = {
   wide : (int, int * int * int) Hashtbl.t; (* abs index -> pc, next_pc, addr *)
 }
 
-(* The paused emulator a streaming trace pulls entries from. A concrete
-   record (not a closure) so that a *finished* trace — the only kind the
-   artifact cache stores — contains nothing Marshal rejects. *)
-type gen = { g_state : State.t; g_code : Code.t; g_fuel : int }
+(* The paused emulator a streaming trace pulls entries from. Holds the
+   compiled form of the image (closures — which Marshal rejects, but a
+   *finished* trace, the only kind the artifact cache stores, has dropped
+   its gen) plus the single out-record all refills reuse. [g_compiled]
+   is [None] when {!use_interpreter} forces the reference interpreter. *)
+type gen = {
+  g_state : State.t;
+  g_code : Code.t;
+  g_fuel : int;
+  g_out : Exec.out;
+  g_compiled : Compiled.t option;
+  mutable g_sink : (Exec.out -> unit) option; (* built on first refill *)
+}
 
 type t = {
   cbits : int;
@@ -123,15 +132,18 @@ let append_chunk t =
   t.ndir <- t.ndir + 1;
   c
 
-let push t (s : Exec.step) =
+(* Record one retired instruction from the shared out-record. This is the
+   sink the compiled emulator drives once per instruction. *)
+let push_out t (o : Exec.out) =
   let i = t.total in
   let c = if i land t.cmask = 0 then append_chunk t else t.dir.(t.ndir - 1) in
+  let pc = o.Exec.o_pc and next_pc = o.Exec.o_next_pc and addr = o.Exec.o_addr in
   let w =
-    if fits ~pc:s.pc ~next_pc:s.next_pc ~addr:s.addr then
-      pack ~guard_true:s.guard_true ~taken:s.taken ~pc:s.pc ~next_pc:s.next_pc ~addr:s.addr
+    if fits ~pc ~next_pc ~addr then
+      pack ~guard_true:o.Exec.o_guard_true ~taken:o.Exec.o_taken ~pc ~next_pc ~addr
     else begin
-      Hashtbl.replace c.wide i (s.pc, s.next_pc, s.addr);
-      (if s.guard_true then 1 else 0) lor (if s.taken then 2 else 0) lor 4
+      Hashtbl.replace c.wide i (pc, next_pc, addr);
+      (if o.Exec.o_guard_true then 1 else 0) lor (if o.Exec.o_taken then 2 else 0) lor 4
     end
   in
   c.words.(i land t.cmask) <- w;
@@ -219,8 +231,33 @@ let iter_range t ~from ~until ~f =
 
 exception Out_of_fuel = Exec.Out_of_fuel
 
-(** [ensure t i] makes entry [i] available, pulling the streaming emulator
-    forward as needed; [false] means the trace ends before [i]. *)
+(** Force trace generation through the reference interpreter instead of
+    the compiled emulator ([--emu-interp] on the drivers). The two are
+    byte-identical — this exists to prove it, and as an A/B lever. *)
+let use_interpreter = ref false
+
+let gen_sink t g =
+  match g.g_sink with
+  | Some s -> s
+  | None ->
+    let s o = push_out t o in
+    g.g_sink <- Some s;
+    s
+
+(* Reference refill path: one interpreted step, one recorded entry. *)
+let refill_interp t g ~upto =
+  let st = g.g_state in
+  let o = g.g_out in
+  while t.total <= upto && not st.State.halted do
+    if st.State.retired >= g.g_fuel then raise (Out_of_fuel g.g_fuel);
+    Exec.step_into Exec.Predicate_through g.g_code st o;
+    push_out t o
+  done
+
+(** [ensure t i] makes entry [i] available, pulling the paused emulator
+    forward as needed; [false] means the trace ends before [i]. The
+    compiled emulator advances in basic-block units, so a refill may
+    record a few entries past [i] (bounded by the longest block). *)
 let ensure t i =
   if i < t.total then true
   else
@@ -228,10 +265,15 @@ let ensure t i =
     | None -> false
     | Some g ->
       let st = g.g_state in
-      while t.total <= i && not st.State.halted do
-        if st.retired >= g.g_fuel then raise (Out_of_fuel g.g_fuel);
-        push t (Exec.step Exec.Predicate_through g.g_code st)
-      done;
+      (if t.total <= i && not st.State.halted then
+         match g.g_compiled with
+         | Some c ->
+           (* The gen's state only ever advances through this trace, so
+              [st.retired] = [t.total] and a retired-count target is an
+              entry-count target. *)
+           Compiled.run c st g.g_out ~sink:(gen_sink t g) ~fuel:g.g_fuel
+             ~steps:(i + 1 - t.total)
+         | None -> refill_interp t g ~upto:i);
       if st.halted then t.gen <- None;
       i < t.total
 
@@ -253,7 +295,17 @@ let release t i =
 let default_fuel = 200_000_000
 
 let mk_gen ?(fuel = default_fuel) program =
-  { g_state = State.create program; g_code = Program.code program; g_fuel = fuel }
+  let code = Program.code program in
+  {
+    g_state = State.create program;
+    g_code = code;
+    g_fuel = fuel;
+    g_out = Exec.make_out ();
+    g_compiled =
+      (if !use_interpreter then None
+       else Some (Compiled.compile ~mode:Exec.Predicate_through code));
+    g_sink = None;
+  }
 
 (** [generate ?fuel ?hint program] runs the emulator in predicate-through
     mode to completion and records the materialized trace. [hint] (an
@@ -264,10 +316,9 @@ let mk_gen ?(fuel = default_fuel) program =
 let generate ?fuel ?hint program =
   let g = mk_gen ?fuel program in
   let t = create ?hint ~retain:true ~gen:(Some g) () in
-  while not g.g_state.State.halted do
-    if g.g_state.retired >= g.g_fuel then raise (Out_of_fuel g.g_fuel);
-    push t (Exec.step Exec.Predicate_through g.g_code g.g_state)
-  done;
+  (match g.g_compiled with
+  | Some c -> Compiled.run_to_halt c g.g_state g.g_out ~sink:(gen_sink t g) ~fuel:g.g_fuel
+  | None -> refill_interp t g ~upto:max_int);
   t.gen <- None;
   (* A finished materialized trace may be marshalled into the artifact
      cache: drop any recycled buffers so they are not serialized. *)

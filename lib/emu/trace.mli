@@ -77,6 +77,13 @@ val resident_words : t -> int
 
 exception Out_of_fuel of int
 
+(** Force trace generation through the reference interpreter instead of
+    the compiled emulator ({!Wish_emu.Compiled}). Byte-identical output —
+    this is the [--emu-interp] A/B lever of the drivers, and the
+    [@emu-identity] tests exist to keep the claim honest. Consult it at
+    {!generate}/{!stream} time (per trace, not per entry). *)
+val use_interpreter : bool ref
+
 (** [generate ?fuel ?hint program] runs the emulator in predicate-through
     mode to completion and records the materialized trace. [hint] — an
     approximate dynamic length ({!Wish_workloads.Bench} supplies one) —

@@ -117,20 +117,59 @@ type report = {
 (* Functional warming                                                  *)
 (* ----------------------------------------------------------------- *)
 
+(* Per-pc warm-plan classes: what the warming loop must do for an entry
+   at that pc, precomputed so the per-entry path never touches the code
+   image ([Code.get] + variant match) again. *)
+let k_inert = 0 (* Alu/Cmp/Pset/Nop/Halt: only the I-line check *)
+
+and k_cond = 1
+and k_wjump = 2
+and k_wjoin = 3
+and k_wloop = 4
+and k_jump = 5
+and k_call = 6
+and k_return = 7
+and k_mem = 8
+
 (* The live warm state plus the warming loop's own bit of front-end
    context (last instruction line touched, mirroring the core's
-   per-line I-cache access). *)
+   per-line I-cache access) and the precomputed per-pc warm plan. *)
 type state = {
   s_config : Config.t;
   s_code : Code.t;
   s_warm : Core.warm_state;
+  s_kind : int array; (* warm-plan class, one of the k_* above *)
+  s_target : int array; (* BTB insert target: direct target or pc+1 *)
+  s_line : int array; (* I-cache line index of the pc *)
   mutable s_last_line : int;
 }
 
 let create_state (config : Config.t) (program : Program.t) =
+  let code = Program.code program in
+  let n = Code.length code in
+  let s_kind = Array.make n k_inert in
+  let s_target = Array.make n 0 in
+  let s_line = Array.make n 0 in
+  let line_bytes = config.hier.l1i.line_bytes in
+  for pc = 0 to n - 1 do
+    let inst = Code.get code pc in
+    s_line.(pc) <- Code.byte_pc pc / line_bytes;
+    s_target.(pc) <- (match Inst.direct_target inst with Some t -> t | None -> pc + 1);
+    s_kind.(pc) <-
+      (match inst.Inst.op with
+      | Inst.Branch { kind = Inst.Cond; _ } -> k_cond
+      | Inst.Branch { kind = Inst.Wish_jump; _ } -> k_wjump
+      | Inst.Branch { kind = Inst.Wish_join; _ } -> k_wjoin
+      | Inst.Branch { kind = Inst.Wish_loop; _ } -> k_wloop
+      | Inst.Jump _ -> k_jump
+      | Inst.Call _ -> k_call
+      | Inst.Return -> k_return
+      | Inst.Load _ | Inst.Store _ -> k_mem
+      | Inst.Alu _ | Inst.Cmp _ | Inst.Pset _ | Inst.Halt | Inst.Nop -> k_inert)
+  done;
   {
     s_config = config;
-    s_code = Program.code program;
+    s_code = code;
     s_warm =
       {
         Core.warm_hybrid = Hybrid.create config.bpred;
@@ -140,6 +179,9 @@ let create_state (config : Config.t) (program : Program.t) =
         warm_loop = Loop_pred.create ();
         warm_hier = Hierarchy.create config.hier;
       };
+    s_kind;
+    s_target;
+    s_line;
     s_last_line = -1;
   }
 
@@ -161,61 +203,55 @@ let copy_warm (w : Core.warm_state) =
    into the BTB, maintain the RAS, and touch the cache tags. *)
 let warm_entry st _i ~pc ~guard_true ~taken ~addr =
   let w = st.s_warm in
-  let cfg = st.s_config in
-  let line = Code.byte_pc pc / cfg.Config.hier.l1i.line_bytes in
+  (* Trace pcs index a validated code image, so the warm-plan arrays
+     (sized to it) are in range by construction. *)
+  let line = Array.unsafe_get st.s_line pc in
   if line <> st.s_last_line then begin
     Hierarchy.warm_inst w.Core.warm_hier ~byte_addr:(Code.byte_pc pc);
     st.s_last_line <- line
   end;
-  let inst = Code.get st.s_code pc in
-  match inst.Inst.op with
-  | Inst.Branch _ ->
-    let history = Hybrid.global_history w.warm_hybrid in
-    let kind = Inst.branch_kind inst in
-    let is_wish_hw =
-      cfg.wish_hardware
-      &&
-      match kind with
-      | Some (Inst.Wish_jump | Inst.Wish_join | Inst.Wish_loop) -> true
-      | _ -> false
-    in
-    (* A low-confidence wish branch executes predicated: no flush ever
-       repairs its speculatively-shifted history, so the architectural
-       history stream carries the predictor's output there — everywhere
-       else, recovery leaves the actual outcome. Peeking the prediction
-       (predict is read-only) decides which direction to shift. *)
-    let dir =
-      if is_wish_hw then begin
-        let predicted = (Hybrid.predict w.warm_hybrid ~pc).Hybrid.taken in
-        let conf_high =
-          if cfg.knobs.perfect_conf then predicted = taken
-          else Confidence.is_high_confidence w.warm_conf ~pc ~history
-        in
-        if conf_high then taken else predicted
-      end
-      else taken
-    in
-    let predicted = Hybrid.warm w.warm_hybrid ~dir ~pc ~taken () in
-    if is_wish_hw && not cfg.knobs.perfect_conf then
-      Confidence.warm w.warm_conf ~pc ~history ~correct:(predicted = taken);
-    if is_wish_hw && cfg.use_loop_predictor && kind = Some Inst.Wish_loop then
-      Loop_pred.warm w.warm_loop ~pc ~taken;
-    if taken then
-      Btb.insert w.warm_btb ~pc
-        ~target:(Option.value (Inst.direct_target inst) ~default:(pc + 1))
-        ~is_wish:(Inst.is_wish inst)
-  | Inst.Jump _ | Inst.Call _ | Inst.Return ->
-    (match inst.op with
-    | Inst.Call _ -> Ras.push w.warm_ras (pc + 1)
-    | Inst.Return -> ignore (Ras.pop w.warm_ras)
-    | _ -> ());
-    if taken then
-      Btb.insert w.warm_btb ~pc
-        ~target:(Option.value (Inst.direct_target inst) ~default:(pc + 1))
-        ~is_wish:false
-  | Inst.Load _ | Inst.Store _ ->
-    if guard_true && addr >= 0 then Hierarchy.warm_data w.warm_hier ~byte_addr:(addr * 8)
-  | _ -> ()
+  let k = Array.unsafe_get st.s_kind pc in
+  if k <> k_inert then
+    if k = k_mem then begin
+      if guard_true && addr >= 0 then Hierarchy.warm_data w.warm_hier ~byte_addr:(addr * 8)
+    end
+    else if k <= k_wloop then begin
+      (* Branch family (cond / wish jump / wish join / wish loop). *)
+      let cfg = st.s_config in
+      let history = Hybrid.global_history w.warm_hybrid in
+      let is_wish_hw = cfg.wish_hardware && k >= k_wjump in
+      (* A low-confidence wish branch executes predicated: no flush ever
+         repairs its speculatively-shifted history, so the architectural
+         history stream carries the predictor's output there — everywhere
+         else, recovery leaves the actual outcome. Peeking the prediction
+         (predict is read-only) decides which direction to shift. *)
+      let dir =
+        if is_wish_hw then begin
+          let predicted = (Hybrid.predict w.warm_hybrid ~pc).Hybrid.taken in
+          let conf_high =
+            if cfg.knobs.perfect_conf then predicted = taken
+            else Confidence.is_high_confidence w.warm_conf ~pc ~history
+          in
+          if conf_high then taken else predicted
+        end
+        else taken
+      in
+      let predicted = Hybrid.warm w.warm_hybrid ~dir ~pc ~taken () in
+      if is_wish_hw && not cfg.knobs.perfect_conf then
+        Confidence.warm w.warm_conf ~pc ~history ~correct:(predicted = taken);
+      if is_wish_hw && cfg.use_loop_predictor && k = k_wloop then
+        Loop_pred.warm w.warm_loop ~pc ~taken;
+      if taken then
+        Btb.insert w.warm_btb ~pc ~target:(Array.unsafe_get st.s_target pc)
+          ~is_wish:(k >= k_wjump)
+    end
+    else begin
+      (* Indirect control: jump / call / return. *)
+      if k = k_call then Ras.push w.warm_ras (pc + 1)
+      else if k = k_return then ignore (Ras.pop w.warm_ras);
+      if taken then
+        Btb.insert w.warm_btb ~pc ~target:(Array.unsafe_get st.s_target pc) ~is_wish:false
+    end
 
 (* Warm [from, until) (clipped at the end of the trace), pulling a
    streaming trace forward as needed. Returns the first index not

@@ -395,6 +395,178 @@ let test_outcome_ignores_registers () =
     true
     ((State.outcome a).memory_checksum = (State.outcome b).memory_checksum)
 
+(* Compiled-emulator identity -------------------------------------------------
+
+   The interpreted [Exec.step] is the golden reference; [Compiled] must be
+   observably equivalent step for step. These tests drive both machines in
+   lockstep through [Compiled.step] (which crosses a block boundary on
+   every instruction a block ends at) and through full-trace generation. *)
+
+let both_modes = [ (Exec.Architectural, "arch"); (Exec.Predicate_through, "pt") ]
+
+let lockstep ?(checked = false) ~tag mode program =
+  let code = Program.code program in
+  let c = Compiled.compile ~checked ~mode code in
+  let si = State.create program and sc = State.create program in
+  let oi = Exec.make_out () and oc = Exec.make_out () in
+  let n = ref 0 in
+  while not si.State.halted do
+    Exec.step_into mode code si oi;
+    Compiled.step c sc oc;
+    if
+      oi.Exec.o_pc <> oc.Exec.o_pc
+      || oi.o_guard_true <> oc.o_guard_true
+      || oi.o_taken <> oc.o_taken
+      || oi.o_next_pc <> oc.o_next_pc
+      || oi.o_addr <> oc.o_addr
+    then
+      Alcotest.failf "%s: facts diverge at step %d (interp pc %d, compiled pc %d)" tag !n
+        oi.Exec.o_pc oc.Exec.o_pc;
+    if si.State.pc <> sc.State.pc || si.retired <> sc.retired || si.halted <> sc.halted then
+      Alcotest.failf "%s: machine state diverges after step %d" tag !n;
+    incr n;
+    if !n > 10_000_000 then Alcotest.failf "%s: runaway lockstep" tag
+  done;
+  Alcotest.(check bool) (tag ^ ": same outcome") true (State.outcome si = State.outcome sc)
+
+let lockstep_items ~tag items =
+  let program = Program.create ~mem_words:64 (Asm.assemble items) in
+  List.iter (fun (mode, mtag) -> lockstep ~tag:(tag ^ "/" ^ mtag) mode program) both_modes
+
+let workload_program name =
+  let bench = Wish_workloads.Workloads.find ~scale:1 name in
+  let bins =
+    Wish_compiler.Compiler.compile_all ~mem_words:bench.mem_words ~name:bench.name
+      ~profile_data:(Wish_workloads.Bench.profile_data bench) bench.ast
+  in
+  Wish_workloads.Bench.program_for bench
+    (Wish_compiler.Compiler.binary bins Wish_compiler.Policy.Wish_jjl)
+    "A"
+
+(* Every Table 4 workload, both modes, full run in lockstep. *)
+let test_lockstep_workloads () =
+  List.iter
+    (fun name ->
+      let program = workload_program name in
+      List.iter
+        (fun (mode, mtag) -> lockstep ~tag:(name ^ "/" ^ mtag) mode program)
+        both_modes)
+    Wish_workloads.Workloads.names
+
+(* The checked build (WISH_EMU_CHECKED) must be equivalent too — same
+   block graph, golden accesses. *)
+let test_lockstep_checked () =
+  List.iter
+    (fun (mode, mtag) ->
+      lockstep ~checked:true ~tag:("gzip-checked/" ^ mtag) mode (workload_program "gzip"))
+    both_modes
+
+(* Block-boundary edge cases: back-edges into fused regions, predicate
+   clears whose effect crosses a block end, halts that do not halt. *)
+let test_lockstep_block_edges () =
+  lockstep_items ~tag:"wish-loop back-edge"
+    Asm.[
+      movi 3 0;
+      pset 1 true;
+      label "loop";
+      alu ~guard:1 Inst.Add 3 3 (Inst.Imm 1);
+      cmp ~guard:1 Inst.Lt 1 3 (Inst.Imm 5);
+      wish_loop ~guard:1 "loop";
+      store 3 0 5;
+      halt;
+    ];
+  lockstep_items ~tag:"cmp.unc clear feeds next block"
+    Asm.[
+      pset 1 false;
+      pset 2 true;
+      pset 3 true;
+      movi 4 1;
+      cmp ~guard:1 ~unc:true Inst.Eq ~dst_false:3 2 4 (Inst.Imm 1);
+      br ~guard:2 "skip"; (* p2 was cleared: must fall through *)
+      movi 5 7;
+      label "skip";
+      halt;
+    ];
+  lockstep_items ~tag:"guarded halt mid-block"
+    Asm.[
+      pset 1 false;
+      movi 3 1;
+      inst ~guard:1 Inst.Halt; (* guard false: execution continues *)
+      movi 3 2;
+      halt;
+    ];
+  List.iter
+    (fun c ->
+      List.iter
+        (fun (mode, mtag) ->
+          lockstep ~tag:(Printf.sprintf "hammock-%d/%s" c mtag) mode (hammock_program c))
+        both_modes)
+    [ 0; 1 ]
+
+(* Out_of_fuel must fire at exactly the interpreter's raise point, even
+   when the fuel line lands inside a fused block (the spin block is two
+   instructions long and the budget is odd relative to the prologue). *)
+let test_fuel_equivalence () =
+  let program =
+    Program.create ~mem_words:64
+      (Asm.assemble
+         Asm.[
+           movi 3 0; label "spin"; alu Inst.Add 3 3 (Inst.Imm 1); jmp "spin"; halt;
+         ])
+  in
+  let fuel = 1000 in
+  let ri =
+    try
+      ignore (Exec.run ~fuel program);
+      None
+    with Exec.Out_of_fuel f -> Some f
+  in
+  let c = Compiled.compile ~mode:Exec.Architectural (Program.code program) in
+  let st = State.create program in
+  let o = Exec.make_out () in
+  let rc =
+    try
+      Compiled.run_to_halt c st o ~sink:Compiled.no_sink ~fuel;
+      None
+    with Exec.Out_of_fuel f -> Some f
+  in
+  check Alcotest.(option int) "same fuel exception" ri rc;
+  check Alcotest.int "retired equals fuel at raise" fuel st.State.retired
+
+(* Static block structure of the Figure 3c hammock: wish jump (pc 2,
+   target 5) and wish join (pc 4, target 6) end blocks architecturally
+   but are fused in predicate-through mode; branch targets stay leaders
+   either way. *)
+let test_block_structure () =
+  let code = Program.code (hammock_program 1) in
+  let leaders fuse_wish = Code.block_leaders ~fuse_wish code in
+  check Alcotest.(list bool) "architectural leaders"
+    [ true; false; false; true; false; true; true; false ]
+    (Array.to_list (leaders false));
+  check Alcotest.(list bool) "predicate-through leaders"
+    [ true; false; false; false; false; true; true; false ]
+    (Array.to_list (leaders true));
+  let bc mode = Compiled.block_count (Compiled.compile ~mode code) in
+  check Alcotest.int "arch block count" 4 (bc Exec.Architectural);
+  check Alcotest.int "pt block count (coarser)" 3 (bc Exec.Predicate_through)
+
+(* Pinned trace hash: the predicate-through trace of the taken-side
+   hammock, folded entry by entry. Catches any silent change to trace
+   contents from either refill path. *)
+let test_pinned_trace_hash () =
+  let tr, _ = Trace.generate (hammock_program 1) in
+  let h = ref 0 in
+  for i = 0 to Trace.length tr - 1 do
+    h :=
+      ((!h * 1000003) land 0xFF_FFFF_FFFF)
+      + (Trace.pc tr i * 31)
+      + (Trace.next_pc tr i * 7)
+      + (Trace.addr tr i + 2)
+      + (if Trace.guard_true tr i then 3 else 0)
+      + if Trace.taken tr i then 13 else 0
+  done;
+  check Alcotest.int "pinned trace hash" 980_269_849_197 !h
+
 let () =
   Alcotest.run "wish_emu"
     [
@@ -446,5 +618,14 @@ let () =
         [
           Alcotest.test_case "counts" `Quick test_profile_counts;
           Alcotest.test_case "outcome ignores registers" `Quick test_outcome_ignores_registers;
+        ] );
+      ( "emu-identity",
+        [
+          Alcotest.test_case "lockstep all workloads" `Quick test_lockstep_workloads;
+          Alcotest.test_case "lockstep checked build" `Quick test_lockstep_checked;
+          Alcotest.test_case "block-boundary edge cases" `Quick test_lockstep_block_edges;
+          Alcotest.test_case "fuel-exact fallback" `Quick test_fuel_equivalence;
+          Alcotest.test_case "block structure" `Quick test_block_structure;
+          Alcotest.test_case "pinned trace hash" `Quick test_pinned_trace_hash;
         ] );
     ]
