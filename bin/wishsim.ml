@@ -9,10 +9,11 @@ module Lab = Wish_experiments.Lab
 
 let run bench_name kind_name input scale asm_file rob stages mech_select wish_hw perfect_bp
     perfect_conf no_depend no_fetch streaming sample sample_parallel jobs gc_tune emu_interp
-    show_stats show_code =
+    sim_interp show_stats show_code =
   Wish_util.Faultpoint.arm_from_env ();
   if gc_tune then Wish_util.Gc_stats.tune ();
   Wish_emu.Trace.use_interpreter := emu_interp;
+  Wish_sim.Core.use_compiled := not sim_interp;
   let sample_spec =
     (* [None]: exact. [Some None]: sampled, auto spec. [Some (Some s)]:
        sampled with an explicit W:D spec. *)
@@ -176,6 +177,12 @@ let cmd =
              ~doc:"Generate traces with the interpreted emulator instead of the compiled \
                    one (A/B lever; outputs are identical, only slower)")
   in
+  let sim_interp =
+    Arg.(value & flag
+         & info [ "sim-interp" ]
+             ~doc:"Run the interpreted timing core instead of the compiled per-pc-template \
+                   one (A/B lever; results are cycle- and stat-identical, only slower)")
+  in
   let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Dump raw statistics counters") in
   let code = Arg.(value & flag & info [ "code" ] ~doc:"Print the binary's code listing") in
   Cmd.v
@@ -183,6 +190,6 @@ let cmd =
     Term.(
       const run $ bench $ kind $ input $ scale $ asm_file $ rob $ stages $ mech $ wish_hw $ pbp
       $ pcf $ nd $ nf $ streaming $ sample $ sample_parallel $ jobs $ gc_tune $ emu_interp
-      $ stats $ code)
+      $ sim_interp $ stats $ code)
 
 let () = exit (Cmd.eval cmd)

@@ -6,19 +6,38 @@
 
 type entry = { target : int; is_wish : bool }
 
-type t = { table : entry Wish_util.Lru.t; sets : int }
+type t = { table : entry Wish_util.Lru.t; sets : int; set_bits : int }
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
 
 let create ~entries ~ways =
   assert (entries mod ways = 0);
   let sets = entries / ways in
-  { table = Wish_util.Lru.create ~sets ~ways ~default:(fun () -> { target = 0; is_wish = false }); sets }
+  {
+    table =
+      Wish_util.Lru.create ~sets ~ways ~default:(fun () -> { target = 0; is_wish = false });
+    sets;
+    set_bits = (if sets land (sets - 1) = 0 then log2 sets else -1);
+  }
 
-let set_of t pc = pc mod t.sets
-let tag_of t pc = pc / t.sets
+(* Shift/mask when [sets] is a power of two (identical results for
+   non-negative PCs), division otherwise. *)
+let set_of t pc = if t.set_bits >= 0 then pc land (t.sets - 1) else pc mod t.sets
+let tag_of t pc = if t.set_bits >= 0 then pc lsr t.set_bits else pc / t.sets
 
 let lookup t ~pc = Wish_util.Lru.find t.table ~set:(set_of t pc) ~tag:(tag_of t pc)
 
 let insert t ~pc ~target ~is_wish =
   ignore (Wish_util.Lru.insert t.table ~set:(set_of t pc) ~tag:(tag_of t pc) { target; is_wish })
 
+(** [hit t ~pc] — presence with the same LRU-recency refresh as [lookup],
+    without boxing the entry (the core's bubble decision only needs the
+    hit/miss bit). *)
+let hit t ~pc = Wish_util.Lru.hit t.table ~set:(set_of t pc) ~tag:(tag_of t pc)
+
 let copy t = { t with table = Wish_util.Lru.copy t.table }
+
+(** [reset t] restores the exact just-created state in place. *)
+let reset t = Wish_util.Lru.clear t.table

@@ -9,7 +9,15 @@ type t
 val create : entries:int -> ways:int -> t
 
 val lookup : t -> pc:int -> entry option
+
+(** [hit t ~pc] — presence with the same recency refresh as [lookup],
+    without boxing the entry. *)
+val hit : t -> pc:int -> bool
+
 val insert : t -> pc:int -> target:int -> is_wish:bool -> unit
+
+(** [reset t] restores the exact just-created state in place. *)
+val reset : t -> unit
 
 (** Independent deep copy (for sampled-simulation checkpoints). *)
 val copy : t -> t

@@ -24,31 +24,49 @@ type config = {
    available via the record fields. *)
 let default_config = { sets = 64; ways = 4; counter_bits = 4; threshold = 10; history_bits = 4 }
 
-type t = { table : int Wish_util.Lru.t; config : config }
+type t = { table : int Wish_util.Lru.t; config : config; set_bits : int }
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
 
 let create config =
   assert (config.threshold <= (1 lsl config.counter_bits) - 1);
-  { table = Wish_util.Lru.create ~sets:config.sets ~ways:config.ways ~default:(fun () -> 0); config }
+  {
+    table = Wish_util.Lru.create ~sets:config.sets ~ways:config.ways ~default:(fun () -> 0);
+    config;
+    set_bits = (if config.sets land (config.sets - 1) = 0 then log2 config.sets else -1);
+  }
 
 (* The [history_bits] of global history are folded (xor-reduced) down to
    the set-index width before being combined with the PC, so a branch's
    history patterns map onto a handful of counters rather than one counter
    per distinct pattern; the tag identifies the PC (the "tagged" part of
-   the design, avoiding cross-branch interference). *)
+   the design, avoiding cross-branch interference). Power-of-two set
+   counts (every production config) fold with mask/shift instead of an
+   integer division per step — same values for the non-negative inputs. *)
+let rec fold_bits sets acc h =
+  if h = 0 then acc else fold_bits sets (acc lxor (h mod sets)) (h / sets)
+
+let rec fold_bits_pow2 mask bits acc h =
+  if h = 0 then acc else fold_bits_pow2 mask bits (acc lxor (h land mask)) (h lsr bits)
+
 let fold_history t history =
   let h = history land ((1 lsl t.config.history_bits) - 1) in
-  let rec fold acc h = if h = 0 then acc else fold (acc lxor (h mod t.config.sets)) (h / t.config.sets) in
-  fold 0 h
+  if t.set_bits >= 0 then fold_bits_pow2 (t.config.sets - 1) t.set_bits 0 h
+  else fold_bits t.config.sets 0 h
 
-let set_of t ~pc ~history = (pc lxor fold_history t history) mod t.config.sets
+let set_of t ~pc ~history =
+  let x = pc lxor fold_history t history in
+  if t.set_bits >= 0 then x land (t.config.sets - 1) else x mod t.config.sets
 let tag_of ~pc = pc
 
 (** [is_high_confidence t ~pc ~history] — a missing entry is low confidence
-    (the branch has not yet proven itself predictable). *)
+    (the branch has not yet proven itself predictable). Allocation-free:
+    a miss reads as counter [-1], below any threshold. *)
 let is_high_confidence t ~pc ~history =
-  match Wish_util.Lru.find t.table ~set:(set_of t ~pc ~history) ~tag:(tag_of ~pc) with
-  | None -> false
-  | Some c -> c >= t.config.threshold
+  Wish_util.Lru.find_default t.table ~set:(set_of t ~pc ~history) ~tag:(tag_of ~pc) ~default:(-1)
+  >= t.config.threshold
 
 (** [train t ~pc ~history ~correct] updates the resetting counter, inserting
     the entry on first sight. *)
@@ -68,3 +86,6 @@ let train t ~pc ~history ~correct =
 let warm = train
 
 let copy t = { t with table = Wish_util.Lru.copy t.table }
+
+(** [reset t] restores the exact just-created state in place. *)
+let reset t = Wish_util.Lru.clear t.table

@@ -36,3 +36,6 @@ val warm : t -> pc:int -> history:int -> correct:bool -> unit
 
 (** Independent deep copy (for sampled-simulation checkpoints). *)
 val copy : t -> t
+
+(** [reset t] restores the exact just-created state in place. *)
+val reset : t -> unit

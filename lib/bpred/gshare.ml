@@ -34,3 +34,6 @@ let warm t ~pc ~history ~taken =
   p
 
 let copy t = { t with pht = Array.copy t.pht }
+
+(** [reset t] restores the exact just-created state in place. *)
+let reset t = Array.fill t.pht 0 (Array.length t.pht) 2

@@ -44,6 +44,26 @@ type lookup = {
 
 type snapshot = { old_history : int; snap_pc : int; old_local : int }
 
+(** Flattened, caller-owned forms of {!lookup} and {!snapshot} for the
+    compiled simulator core: one buffer lives inside each pooled branch
+    µop and is refilled in place, so the fetch path allocates neither a
+    lookup record nor a snapshot per branch. *)
+type lbuf = {
+  mutable b_taken : bool;
+  mutable b_g_taken : bool;
+  mutable b_p_taken : bool;
+  mutable b_g_index : int;
+  mutable b_p_index : int;
+  mutable b_s_index : int;
+}
+
+type sbuf = { mutable b_old_history : int; mutable b_snap_pc : int; mutable b_old_local : int }
+
+let fresh_lbuf () =
+  { b_taken = false; b_g_taken = false; b_p_taken = false; b_g_index = 0; b_p_index = 0; b_s_index = 0 }
+
+let fresh_sbuf () = { b_old_history = 0; b_snap_pc = 0; b_old_local = 0 }
+
 let create config =
   {
     gshare = Gshare.create ~index_bits:config.gshare_bits;
@@ -94,6 +114,53 @@ let train t (l : lookup) ~taken =
     t.selector.(l.s_index) <-
       (if l.g_taken = taken then min 3 (c + 1) else max 0 (c - 1))
   end
+
+(* ----- buffer-based protocol (allocation-free mirror of the above) ----- *)
+
+let predict_into t ~pc (d : lbuf) =
+  let g_index = Gshare.index t.gshare ~pc ~history:t.history in
+  let g_taken = Gshare.predict_at t.gshare g_index in
+  let p_index = Pas.predict_index t.pas ~pc in
+  let p_taken = Pas.taken_at t.pas p_index in
+  let s_index = (pc lxor t.history) land t.selector_mask in
+  d.b_taken <- (if t.selector.(s_index) >= 2 then g_taken else p_taken);
+  d.b_g_taken <- g_taken;
+  d.b_p_taken <- p_taken;
+  d.b_g_index <- g_index;
+  d.b_p_index <- p_index;
+  d.b_s_index <- s_index
+
+let spec_update_into t ~pc ~dir (d : sbuf) =
+  d.b_old_history <- t.history;
+  t.history <- ((t.history lsl 1) lor if dir then 1 else 0) land t.history_mask;
+  d.b_old_local <- Pas.spec_update t.pas ~pc ~taken:dir;
+  d.b_snap_pc <- pc
+
+let restore_b t (d : sbuf) =
+  t.history <- d.b_old_history;
+  Pas.restore t.pas ~pc:d.b_snap_pc ~old:d.b_old_local
+
+let correct_b t (d : sbuf) ~dir =
+  restore_b t d;
+  ignore (spec_update t ~pc:d.b_snap_pc ~dir)
+
+let train_b t (d : lbuf) ~taken =
+  Gshare.train_at t.gshare d.b_g_index ~taken;
+  Pas.train_at t.pas d.b_p_index ~taken;
+  if d.b_g_taken <> d.b_p_taken then begin
+    let c = t.selector.(d.b_s_index) in
+    t.selector.(d.b_s_index) <-
+      (if d.b_g_taken = taken then min 3 (c + 1) else max 0 (c - 1))
+  end
+
+(** [reset t] — restore the exact just-created state in place (table
+    pooling for the compiled core: a machine acquired from the pool must
+    be indistinguishable from [create config]). *)
+let reset t =
+  Gshare.reset t.gshare;
+  Pas.reset t.pas;
+  Array.fill t.selector 0 (Array.length t.selector) 2;
+  t.history <- 0
 
 (** [warm t ~pc ~taken] — functional-warming update: predict, train every
     table on the architectural outcome, and shift the outcome into the

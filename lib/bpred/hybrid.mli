@@ -36,6 +36,23 @@ type lookup = {
 
 type snapshot
 
+(** Flattened, caller-owned forms of {!lookup}/{!snapshot}: one buffer
+    lives inside each pooled branch µop of the compiled core and is
+    refilled in place, so steady-state prediction allocates nothing. *)
+type lbuf = {
+  mutable b_taken : bool;
+  mutable b_g_taken : bool;
+  mutable b_p_taken : bool;
+  mutable b_g_index : int;
+  mutable b_p_index : int;
+  mutable b_s_index : int;
+}
+
+type sbuf = { mutable b_old_history : int; mutable b_snap_pc : int; mutable b_old_local : int }
+
+val fresh_lbuf : unit -> lbuf
+val fresh_sbuf : unit -> sbuf
+
 val create : config -> t
 val global_history : t -> int
 val predict : t -> pc:int -> lookup
@@ -61,6 +78,19 @@ val train : t -> lookup -> taken:bool -> unit
     never flushes, so recovery never repairs it). Returns the
     pre-training prediction. *)
 val warm : t -> ?dir:bool -> pc:int -> taken:bool -> unit -> bool
+
+(* Buffer-based protocol: allocation-free mirrors of
+   predict / spec_update / restore / correct / train. *)
+
+val predict_into : t -> pc:int -> lbuf -> unit
+val spec_update_into : t -> pc:int -> dir:bool -> sbuf -> unit
+val restore_b : t -> sbuf -> unit
+val correct_b : t -> sbuf -> dir:bool -> unit
+val train_b : t -> lbuf -> taken:bool -> unit
+
+(** [reset t] restores the exact just-created state in place (machine
+    pooling: an acquired predictor must equal [create config]). *)
+val reset : t -> unit
 
 (** Independent deep copy (for sampled-simulation checkpoints). *)
 val copy : t -> t

@@ -27,9 +27,9 @@ let create ?(bias = 3) ?(conf_threshold = 2) () =
   { table = Hashtbl.create 64; bias; conf_threshold }
 
 let entry t pc =
-  match Hashtbl.find_opt t.table pc with
-  | Some e -> e
-  | None ->
+  match Hashtbl.find t.table pc with
+  | e -> e
+  | exception Not_found ->
     let e = { last_trip = 0; ema8 = 0; conf = 0; current = 0; spec_count = 0; trained = false } in
     Hashtbl.add t.table pc e;
     e
@@ -45,6 +45,23 @@ let predict t ~pc =
   if not e.trained then No_prediction
   else if e.conf >= t.conf_threshold then Exact (e.spec_count < e.last_trip)
   else Biased (e.spec_count < (e.ema8 / 8) + t.bias)
+
+(* Integer-coded predictions for the allocation-free fetch path. *)
+let p_none = 0
+and p_exact_f = 1
+and p_exact_t = 2
+and p_biased_f = 3
+and p_biased_t = 4
+
+(** [predict_code t ~pc] — {!predict} without the variant box: one of the
+    [p_*] codes above. *)
+let predict_code t ~pc =
+  let e = entry t pc in
+  if not e.trained then p_none
+  else if e.conf >= t.conf_threshold then
+    if e.spec_count < e.last_trip then p_exact_t else p_exact_f
+  else if e.spec_count < (e.ema8 / 8) + t.bias then p_biased_t
+  else p_biased_f
 
 (** [spec_iterate t ~pc ~taken] advances the front-end visit view. *)
 let spec_iterate t ~pc ~taken =
@@ -83,6 +100,9 @@ let warm t ~pc ~taken =
   train t ~pc ~taken;
   let e = entry t pc in
   e.spec_count <- e.current
+
+(** [reset t] restores the exact just-created state in place. *)
+let reset t = Hashtbl.reset t.table
 
 let copy t =
   {

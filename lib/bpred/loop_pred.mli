@@ -18,6 +18,16 @@ type prediction = No_prediction | Exact of bool | Biased of bool
 
 val predict : t -> pc:int -> prediction
 
+(* Integer codes for {!predict_code}: the allocation-free fetch path. *)
+val p_none : int
+val p_exact_f : int
+val p_exact_t : int
+val p_biased_f : int
+val p_biased_t : int
+
+(** [predict_code t ~pc] — {!predict} without the variant box. *)
+val predict_code : t -> pc:int -> int
+
 (** [spec_iterate t ~pc ~taken] advances the front-end visit view with the
     followed direction. *)
 val spec_iterate : t -> pc:int -> taken:bool -> unit
@@ -34,6 +44,9 @@ val train : t -> pc:int -> taken:bool -> unit
 (** [warm t ~pc ~taken] — train and keep the speculative view pinned to
     retirement state (functional warming has no front end running ahead). *)
 val warm : t -> pc:int -> taken:bool -> unit
+
+(** [reset t] restores the exact just-created state in place. *)
+val reset : t -> unit
 
 (** Independent deep copy (for sampled-simulation checkpoints). *)
 val copy : t -> t

@@ -38,6 +38,11 @@ let predict t ~pc =
   let idx = pht_index t ~pc ~local:(local_history t ~pc) in
   (t.pht.(idx) >= 2, idx)
 
+(* Tuple-free probes for the allocation-free fetch path: the index is
+   computed once and the direction read from it. *)
+let predict_index t ~pc = pht_index t ~pc ~local:(local_history t ~pc)
+let taken_at t idx = t.pht.(idx) >= 2
+
 (** [spec_update t ~pc ~taken] shifts the predicted direction into the local
     history and returns the previous history for squash repair. *)
 let spec_update t ~pc ~taken =
@@ -63,3 +68,8 @@ let warm t ~pc ~taken =
   p
 
 let copy t = { t with bht = Array.copy t.bht; pht = Array.copy t.pht }
+
+(** [reset t] restores the exact just-created state in place. *)
+let reset t =
+  Array.fill t.bht 0 (Array.length t.bht) 0;
+  Array.fill t.pht 0 (Array.length t.pht) 2

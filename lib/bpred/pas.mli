@@ -13,6 +13,12 @@ val local_history : t -> pc:int -> int
     for retirement-time {!train_at}). *)
 val predict : t -> pc:int -> bool * int
 
+(** [predict_index]/[taken_at] split {!predict} so the caller needs no
+    tuple: probe the index once, read the direction from it. *)
+val predict_index : t -> pc:int -> int
+
+val taken_at : t -> int -> bool
+
 (** [spec_update t ~pc ~taken] shifts the followed direction into the local
     history; returns the previous history for squash repair. *)
 val spec_update : t -> pc:int -> taken:bool -> int
@@ -27,3 +33,6 @@ val warm : t -> pc:int -> taken:bool -> bool
 
 (** Independent deep copy (for sampled-simulation checkpoints). *)
 val copy : t -> t
+
+(** [reset t] restores the exact just-created state in place. *)
+val reset : t -> unit

@@ -166,6 +166,18 @@ let chunk_of t i =
 
 let word t i = Array.unsafe_get (chunk_of t i).words (i land t.cmask)
 
+(* Field decoders over an already-fetched packed word: the oracle's scan
+   reads the word once and extracts every field it needs from the
+   register, instead of one directory walk per field. Only valid when
+   the escape bit is clear ([w_escaped w = false]); escaped entries must
+   fall back to the single-field accessors below. *)
+let w_guard_true w = w land 1 <> 0
+let w_taken w = w land 2 <> 0
+let w_escaped w = w land 4 <> 0
+let w_pc w = (w lsr 3) land 0x1FFFFF
+let w_next_pc w = ((w lsr 3) land 0x1FFFFF) + ((w lsr 24) land 0x1FFF) - delta_bias
+let w_addr w = ((w lsr 37) land 0x3FFFFFF) - 1
+
 let guard_true t i = word t i land 1 <> 0
 let taken t i = word t i land 2 <> 0
 

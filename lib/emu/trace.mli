@@ -38,6 +38,22 @@ val addr : t -> int -> int
 val guard_true : t -> int -> bool
 val taken : t -> int -> bool
 
+(** Single-read decode path for per-entry scans: [word t i] bounds-checks
+    once and returns the packed entry word; the [w_*] decoders then
+    extract fields from that word with pure arithmetic, no further
+    lookups. If [w_escaped w] is true the entry's fields overflowed the
+    packed format and live in a side table — fall back to the
+    single-field accessors above for that entry. *)
+
+val word : t -> int -> int
+
+val w_guard_true : int -> bool
+val w_taken : int -> bool
+val w_escaped : int -> bool
+val w_pc : int -> int
+val w_next_pc : int -> int
+val w_addr : int -> int
+
 (** [iter_range t ~from ~until ~f] — decode entries [from, until) in one
     pass, resolving the chunk once per chunk and reading each packed word
     once (the functional-warming fast path; the single-field accessors

@@ -15,6 +15,7 @@ type t = {
   mutable misses : int;
   line_shift : int;
   sets : int;
+  set_bits : int; (* log2 sets when sets is a power of two, else -1 *)
 }
 
 let log2 n =
@@ -33,11 +34,16 @@ let create config =
     misses = 0;
     line_shift = log2 config.line_bytes;
     sets;
+    set_bits = (if sets land (sets - 1) = 0 then log2 sets else -1);
   }
 
 let line_addr t byte_addr = byte_addr lsr t.line_shift
-let set_of t la = la mod t.sets
-let tag_of t la = la / t.sets
+
+(* Shift/mask when [sets] is a power of two (all production configs),
+   division otherwise — identical results for the non-negative line
+   addresses in play, without two integer divides per access. *)
+let set_of t la = if t.set_bits >= 0 then la land (t.sets - 1) else la mod t.sets
+let tag_of t la = if t.set_bits >= 0 then la lsr t.set_bits else la / t.sets
 
 (** [access t ~byte_addr] probes the cache, allocating the line on a miss.
     Returns whether it hit. *)
@@ -45,12 +51,12 @@ let access t ~byte_addr =
   t.accesses <- t.accesses + 1;
   let la = line_addr t byte_addr in
   let set = set_of t la and tag = tag_of t la in
-  match Wish_util.Lru.find t.lines ~set ~tag with
-  | Some () -> true
-  | None ->
+  if Wish_util.Lru.hit t.lines ~set ~tag then true
+  else begin
     t.misses <- t.misses + 1;
     ignore (Wish_util.Lru.insert t.lines ~set ~tag ());
     false
+  end
 
 (** [probe t ~byte_addr] checks residency without side effects. *)
 let probe t ~byte_addr =
@@ -58,6 +64,12 @@ let probe t ~byte_addr =
   Wish_util.Lru.mem t.lines ~set:(set_of t la) ~tag:(tag_of t la)
 
 let copy t = { t with lines = Wish_util.Lru.copy t.lines }
+
+(** [reset t] restores the exact just-created state in place. *)
+let reset t =
+  Wish_util.Lru.clear t.lines;
+  t.accesses <- 0;
+  t.misses <- 0
 
 let latency t = t.config.latency
 let accesses t = t.accesses

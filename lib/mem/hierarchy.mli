@@ -39,6 +39,9 @@ val warm_inst : t -> byte_addr:int -> unit
 (** Independent deep copy (for sampled-simulation checkpoints). *)
 val copy : t -> t
 
+(** [reset t] restores the exact just-created state in place. *)
+val reset : t -> unit
+
 type stats = {
   l1i_accesses : int;
   l1i_misses : int;

@@ -28,6 +28,11 @@ type fetch_path = F_correct | F_wrong | F_phantom | F_stopped
 
 exception Deadlock of string
 
+(* Dispatch switch read by {!Runner} and {!Sampler}: [true] selects the
+   compiled core ({!Compiled}); [false] ([--sim-interp]) keeps this
+   interpreted reference. *)
+let use_compiled = ref true
+
 (* Decoded-µop memo: every per-static-PC fact the fetch path derives from
    an instruction, computed once and reused for every dynamic instance.
    A direct array over the code image (kernel images are small); the
@@ -45,17 +50,15 @@ type dinfo = {
 
 let decode_memo_enabled = ref true
 
-(* Completion events live in a calendar wheel: one µop-id bucket per
-   future cycle, indexed by [cycle land (wheel_horizon - 1)]. Scheduling
-   and draining a cycle are O(1) + O(events due), with none of the
-   hashing/resize churn of the (int, int list) Hashtbl this replaces.
+(* Completion events live in a {!Wheel}: one bucket per future cycle.
    The horizon exceeds any single-access latency (L1+L2+300-cycle
    memory); bank-conflict queueing can in principle push a completion
-   past it, so far events sit in an overflow list that is swept back
-   into the wheel once per rotation. *)
+   past it, and such far events go to the wheel's rotation-indexed
+   overflow table. *)
 let wheel_horizon = 1024
 
-let wheel_mask = wheel_horizon - 1
+(* Fills vacated wheel payload slots; never scheduled or mutated. *)
+let dummy_uop = Uop.fresh ~branch:false
 
 (* A fetch group: µops in fetch order, consumed from [next] by rename.
    Plain array + cursor instead of the previous [Uop.t list ref]. *)
@@ -147,8 +150,7 @@ type t = {
   rob : Uop.t Ring.t;
   in_flight : (int, Uop.t) Hashtbl.t;
   ready : Heap.t;
-  events : int list array; (* calendar wheel: bucket per cycle mod horizon *)
-  mutable events_overflow : (int * int) list; (* (cycle, id) beyond the horizon *)
+  events : Uop.t Wheel.t; (* completion calendar wheel *)
   pending_stores : (int, ibuf) Hashtbl.t; (* byte addr -> store µop ids *)
   fsm : Wish_fsm.t;
   stats : Stats.t;
@@ -208,8 +210,7 @@ let create ?warm ?(start_cursor = 0) ?start_pc ?(release_trace = true) config
     rob = Ring.create config.rob_size;
     in_flight = Hashtbl.create 2048;
     ready = Heap.create ();
-    events = Array.make wheel_horizon [];
-    events_overflow = [];
+    events = Wheel.create ~horizon:wheel_horizon ~dummy:dummy_uop;
     pending_stores = Hashtbl.create 64;
     fsm = Wish_fsm.create ();
     stats;
@@ -852,11 +853,7 @@ let rename_stage t =
 let schedule_completion t (u : Uop.t) latency =
   let c = t.cycle + max 1 latency in
   u.complete_cycle <- c;
-  if c - t.cycle < wheel_horizon then begin
-    let slot = c land wheel_mask in
-    t.events.(slot) <- u.id :: t.events.(slot)
-  end
-  else t.events_overflow <- (c, u.id) :: t.events_overflow
+  Wheel.schedule t.events ~now:t.cycle ~due:c ~id:u.id u
 
 (* Loads wait for older incomplete stores to the same address (addresses
    are known at rename, so disambiguation is idealized-perfect). *)
@@ -1034,35 +1031,11 @@ let complete_uop t (u : Uop.t) =
   if Uop.is_branch_uop u && not u.flushed then resolve_branch t u
 
 let process_events t =
-  (* Once per wheel rotation, sweep matured overflow events into their
-     buckets (every bucket index is >= the current cycle right now, so
-     the target slot has not passed). In practice the overflow list is
-     empty: only pathological bank-conflict queueing exceeds the
-     horizon. *)
-  if t.cycle land wheel_mask = 0 && t.events_overflow <> [] then
-    t.events_overflow <-
-      List.filter
-        (fun (c, id) ->
-          if c - t.cycle < wheel_horizon then begin
-            let slot = c land wheel_mask in
-            t.events.(slot) <- id :: t.events.(slot);
-            false
-          end
-          else true)
-        t.events_overflow;
-  let slot = t.cycle land wheel_mask in
-  match t.events.(slot) with
-  | [] -> ()
-  | ids ->
-    t.events.(slot) <- [];
-    (* Oldest-first so that the oldest misprediction wins the flush. *)
-    let ids = List.sort compare ids in
-    List.iter
-      (fun id ->
-        match Hashtbl.find t.in_flight id with
-        | u when not u.Uop.flushed -> complete_uop t u
-        | _ | (exception Not_found) -> ())
-      ids
+  (* Ascending-id drain: oldest-first so the oldest misprediction wins the
+     flush. A recycled µop no longer matches its scheduled id; a squashed
+     one is marked flushed — both are stale events to skip. *)
+  Wheel.drain t.events ~now:t.cycle ~f:(fun id u ->
+      if u.Uop.id = id && not u.Uop.flushed then complete_uop t u)
 
 let count_wish_retirement t (u : Uop.t) (b : Uop.branch_rec) =
   match b.wish_kind with

@@ -37,6 +37,11 @@ type warm_state = {
     time. *)
 val decode_memo_enabled : bool ref
 
+(** Dispatch switch read by {!Runner} and {!Sampler}: [true] (the
+    default) selects the compiled core ({!Compiled}); [false]
+    ([--sim-interp]) keeps this interpreted reference implementation. *)
+val use_compiled : bool ref
+
 (** [create config program trace] — the classic whole-run core. Sampled
     simulation opens a detailed measurement window mid-trace with [warm]
     (pre-warmed predictor/cache state), [start_cursor] (trace index to

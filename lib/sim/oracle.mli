@@ -32,5 +32,20 @@ type entry = { index : int; guard_true : bool; taken : bool; next_pc : int; addr
     means divergence. *)
 val consume : t -> pc:int -> entry option
 
+(** Caller-owned mutable entry for the allocation-free match path. *)
+type ebuf = {
+  mutable b_index : int;
+  mutable b_guard_true : bool;
+  mutable b_taken : bool;
+  mutable b_next_pc : int;
+  mutable b_addr : int;
+}
+
+val fresh_ebuf : unit -> ebuf
+
+(** [consume_into t ~pc e] — {!consume} without the option/record
+    allocation: on a match, fills [e] and returns [true]. *)
+val consume_into : t -> pc:int -> ebuf -> bool
+
 (** [peek_pc t] is the next correct-path PC, if any (diagnostics only). *)
 val peek_pc : t -> int option

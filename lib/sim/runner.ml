@@ -15,10 +15,8 @@ type summary = {
   mem : Wish_mem.Hierarchy.stats;
 }
 
-let summarize core =
-  let stats = Core.stats core in
+let summarize_parts stats cycles mem =
   let g = Wish_util.Stats.get stats in
-  let cycles = Core.cycles core in
   {
     cycles;
     dynamic_insts = 0;
@@ -31,8 +29,10 @@ let summarize core =
     upc =
       (if cycles = 0 then 0.0 else float_of_int (g "retired_correct") /. float_of_int cycles);
     stats;
-    mem = Core.hier_stats core;
+    mem;
   }
+
+let summarize core = summarize_parts (Core.stats core) (Core.cycles core) (Core.hier_stats core)
 
 (** [simulate ?config ?streaming ?trace program] — [trace] may be
     supplied to reuse a previously generated trace for the same program.
@@ -52,9 +52,18 @@ let simulate ?(config = Config.default) ?(streaming = false) ?trace
         let t, _final = Wish_emu.Trace.generate program in
         t
   in
-  let core = Core.create config program trace in
-  ignore (Core.run core);
-  let s = summarize core in
+  let s =
+    if !Core.use_compiled then begin
+      let core = Compiled.create config program trace in
+      ignore (Compiled.run core);
+      summarize_parts (Compiled.stats core) (Compiled.cycles core) (Compiled.hier_stats core)
+    end
+    else begin
+      let core = Core.create config program trace in
+      ignore (Core.run core);
+      summarize core
+    end
+  in
   (* A streamed trace has been pulled through its final entry by the time
      the core retires Halt, so [length] is the full dynamic count here too. *)
   { s with dynamic_insts = Wish_emu.Trace.length trace }

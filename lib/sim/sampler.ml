@@ -284,26 +284,46 @@ let run_window ~config ~program ~trace ~detail ck =
   let start = ck.c_start in
   let lead = ck.c_lead in
   let start_pc = Trace.pc trace start in
-  let core =
-    Core.create ~warm:ck.c_warm ~start_cursor:start ~start_pc ~release_trace:false config
-      program trace
+  (* Uniform view over the interpreted and compiled cores: window
+     measurement only needs stats access, bounded running, and the
+     retired-entry / cycle cursors. *)
+  let g, run_until, retired_idx, cycles =
+    if !Core.use_compiled then begin
+      let core =
+        Compiled.create ~warm:ck.c_warm ~start_cursor:start ~start_pc ~release_trace:false
+          config program trace
+      in
+      ( Stats.get (Compiled.stats core),
+        (fun stop_idx -> ignore (Compiled.run_until core ~stop_idx)),
+        (fun () -> Compiled.retired_trace_idx core),
+        fun () -> Compiled.cycles core )
+    end
+    else begin
+      let core =
+        Core.create ~warm:ck.c_warm ~start_cursor:start ~start_pc ~release_trace:false config
+          program trace
+      in
+      ( Stats.get (Core.stats core),
+        (fun stop_idx -> ignore (Core.run_until core ~stop_idx)),
+        (fun () -> Core.retired_trace_idx core),
+        fun () -> Core.cycles core )
+    end
   in
-  let g = Stats.get (Core.stats core) in
-  ignore (Core.run_until core ~stop_idx:(start + lead));
-  let lo = Core.retired_trace_idx core in
-  let c0 = Core.cycles core in
+  run_until (start + lead);
+  let lo = retired_idx () in
+  let c0 = cycles () in
   let u0 = g "retired_correct"
   and ph0 = g "retired_phantom"
   and f0 = g "fetched_uops"
   and fl0 = g "flushes"
   and m0 = g "mispredicts_retired"
   and b0 = g "cond_branches_retired" in
-  ignore (Core.run_until core ~stop_idx:(start + lead + detail));
-  let hi = Core.retired_trace_idx core in
+  run_until (start + lead + detail);
+  let hi = retired_idx () in
   {
     w_start = lo + 1;
     w_entries = hi - lo;
-    w_cycles = Core.cycles core - c0;
+    w_cycles = cycles () - c0;
     w_uops = g "retired_correct" - u0;
     w_phantom = g "retired_phantom" - ph0;
     w_fetched = g "fetched_uops" - f0;

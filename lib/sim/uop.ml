@@ -48,6 +48,15 @@ type branch_rec = {
   mutable rat_ckpt : Rat.snapshot option; (* filled at rename; buffer reused *)
   mutable resolved : bool;
   mutable loop_class : loop_class;
+  (* Compiled-core fields: the buffer-based predictor protocol and the
+     pooled RAT-checkpoint slot replace the option-boxed [lookup],
+     [snapshot] and [rat_ckpt] above. The interpreted core never touches
+     them. *)
+  lu : Wish_bpred.Hybrid.lbuf;
+  mutable lu_valid : bool;
+  sn : Wish_bpred.Hybrid.sbuf;
+  mutable sn_valid : bool;
+  mutable ckpt_slot : int; (* compiled RAT checkpoint pool slot, or -1 *)
 }
 
 type t = {
@@ -118,6 +127,11 @@ let fresh_branch_rec () =
     rat_ckpt = None;
     resolved = false;
     loop_class = Lc_none;
+    lu = Wish_bpred.Hybrid.fresh_lbuf ();
+    lu_valid = false;
+    sn = Wish_bpred.Hybrid.fresh_sbuf ();
+    sn_valid = false;
+    ckpt_slot = -1;
   }
 
 let fresh ~branch =

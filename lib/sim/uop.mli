@@ -44,6 +44,13 @@ type branch_rec = {
   mutable rat_ckpt : Rat.snapshot option;  (** filled at rename; buffer reused *)
   mutable resolved : bool;
   mutable loop_class : loop_class;
+  lu : Wish_bpred.Hybrid.lbuf;
+      (** compiled core: unboxed predictor lookup (replaces [lookup]) *)
+  mutable lu_valid : bool;
+  sn : Wish_bpred.Hybrid.sbuf;
+      (** compiled core: unboxed history snapshot (replaces [snapshot]) *)
+  mutable sn_valid : bool;
+  mutable ckpt_slot : int;  (** compiled core: pooled RAT checkpoint slot, or -1 *)
 }
 
 type t = {

@@ -1,0 +1,31 @@
+(** A calendar wheel of completion events carrying payloads.
+
+    One bucket per future cycle, indexed by [due land (horizon - 1)].
+    Events due beyond the horizon go to an overflow table indexed by
+    rotation number [due / horizon]; the wheel sweeps exactly one
+    rotation's bucket back into the slots each time a rotation starts —
+    O(events maturing), not O(all far events) as a linear overflow list
+    would be. Draining delivers events in ascending-id order. *)
+
+type 'a t
+
+(** [create ~horizon ~dummy] — [horizon] must be a positive power of two;
+    [dummy] fills vacated payload slots so the wheel never pins dead
+    payloads. *)
+val create : horizon:int -> dummy:'a -> 'a t
+
+val horizon : 'a t -> int
+
+(** [schedule t ~now ~due ~id payload] — [due] must be > [now]. *)
+val schedule : 'a t -> now:int -> due:int -> id:int -> 'a -> unit
+
+(** [drain t ~now ~f] calls [f id payload] for every event due at [now] in
+    ascending id order and empties the bucket. [f] may schedule further
+    events (all due later than [now]). Must be called with consecutive
+    [now] values — rotation sweeps happen as [now] crosses multiples of
+    the horizon. *)
+val drain : 'a t -> now:int -> f:(int -> 'a -> unit) -> unit
+
+(** [clear t] empties every bucket, dropping payload references (pooled
+    reuse across runs). *)
+val clear : 'a t -> unit

@@ -17,8 +17,13 @@ type t
 val create : unit -> t
 val mode : t -> Uop.mode
 
-(** Full reset on a branch-misprediction signal (pipeline flush). *)
+(** Full reset on a branch-misprediction signal (pipeline flush). The
+    complement map survives (it mirrors decoded compares). *)
 val reset : t -> unit
+
+(** [hard_reset t] restores the exact just-created state in place,
+    complement map included (for pooled reuse across runs). *)
+val hard_reset : t -> unit
 
 (** [on_decode_writes t pregs ~complement_pair] — decoding an instruction
     that writes a predicate register invalidates its forwarded value; a
@@ -26,8 +31,19 @@ val reset : t -> unit
 val on_decode_writes :
   t -> Wish_isa.Reg.preg list -> complement_pair:(Wish_isa.Reg.preg * Wish_isa.Reg.preg) option -> unit
 
+(** Allocation-free decode primitives for the compiled core's pre-decoded
+    templates: [decode_write] invalidates one written predicate register;
+    [set_complement] records a compare's two-destination pair. *)
+val decode_write : t -> Wish_isa.Reg.preg -> unit
+
+val set_complement : t -> pt:Wish_isa.Reg.preg -> pf:Wish_isa.Reg.preg -> unit
+
 (** [forwarded_value t p] — [Some v] if the buffer predicts predicate [p]. *)
 val forwarded_value : t -> Wish_isa.Reg.preg -> bool option
+
+(** [forwarded_code t p] — [-1] when no prediction exists for [p], else
+    [0]/[1] for false/true (allocation-free {!forwarded_value}). *)
+val forwarded_code : t -> Wish_isa.Reg.preg -> int
 
 (** [on_fetch_pc t ~pc] — the "target fetched" exit from low-confidence
     mode. Call for every fetched pc before decoding it. *)
@@ -47,6 +63,16 @@ val on_wish_branch :
   guard:Wish_isa.Reg.preg ->
   bool
 
+(** Current mode as the {!Plan} transition-table code: 0 normal / 1 high /
+    2 low. *)
+val mode_code : t -> int
+
+(** [apply_packed t ~packed ~pc ~target ~guard] — apply one compiled
+    wish-FSM transition-table entry (see {!Plan.wish_table} for the
+    encoding); returns the followed direction. *)
+val apply_packed :
+  t -> packed:int -> pc:int -> target:int -> guard:Wish_isa.Reg.preg -> bool
+
 (** [loop_generation t ~pc] — the front end's current visit generation for
     a static wish loop; a predicted exit starts a new visit. *)
 val loop_generation : t -> pc:int -> int
@@ -58,3 +84,11 @@ val record_loop_prediction : t -> pc:int -> dir:bool -> unit
 
 (** [last_loop_prediction t ~pc] — [(generation, last predicted dir)]. *)
 val last_loop_prediction : t -> pc:int -> (int * bool) option
+
+(** [last_loop_gen t ~pc] — the recorded generation, or [-1] when no
+    prediction exists (allocation-free {!last_loop_prediction}). *)
+val last_loop_gen : t -> pc:int -> int
+
+(** [last_loop_dir t ~pc] — the last recorded direction; meaningful only
+    when {!last_loop_gen} is non-negative. *)
+val last_loop_dir : t -> pc:int -> bool

@@ -13,6 +13,7 @@ type 'a entry = {
 
 type 'a t = {
   sets : int;
+  smask : int; (* sets - 1 when sets is a power of two, else -1 *)
   ways : int;
   entries : 'a entry array array; (* [set].(way) *)
   mutable clock : int;
@@ -24,11 +25,17 @@ let create ~sets ~ways ~default =
   let make_entry _ = { tag = 0; valid = false; stamp = 0; payload = default () } in
   {
     sets;
+    smask = (if sets land (sets - 1) = 0 then sets - 1 else -1);
     ways;
     entries = Array.init sets (fun _ -> Array.init ways make_entry);
     clock = 0;
     default;
   }
+
+(* Set-index reduction: a masked AND when the set count is a power of two
+   (every production configuration), an integer division otherwise.
+   Identical results for the non-negative indices callers pass. *)
+let row t set = Array.unsafe_get t.entries (if t.smask >= 0 then set land t.smask else set mod t.sets)
 
 let sets t = t.sets
 let ways t = t.ways
@@ -37,30 +44,57 @@ let touch t e =
   t.clock <- t.clock + 1;
   e.stamp <- t.clock
 
+(* Way scan as a top-level recursion (not a per-call closure): returns the
+   matching way index or -1. *)
+let rec scan_way row ways tag i =
+  if i >= ways then -1
+  else
+    let e : _ entry = Array.unsafe_get row i in
+    if e.valid && e.tag = tag then i else scan_way row ways tag (i + 1)
+
 (** [find t ~set ~tag] looks up an entry and updates its recency on hit. *)
 let find t ~set ~tag =
-  let row = t.entries.(set mod t.sets) in
-  let rec loop i =
-    if i >= t.ways then None
-    else
-      let e = row.(i) in
-      if e.valid && e.tag = tag then begin
-        touch t e;
-        Some e.payload
-      end
-      else loop (i + 1)
-  in
-  loop 0
+  let row = row t set in
+  let i = scan_way row t.ways tag 0 in
+  if i < 0 then None
+  else begin
+    let e = row.(i) in
+    touch t e;
+    Some e.payload
+  end
+
+(** [hit t ~set ~tag] is [find <> None] without the option box: recency is
+    refreshed exactly as by [find], but only presence is reported. *)
+let hit t ~set ~tag =
+  let row = row t set in
+  let i = scan_way row t.ways tag 0 in
+  i >= 0
+  && begin
+       touch t row.(i);
+       true
+     end
+
+(** [find_default t ~set ~tag ~default] — like [find] but returns
+    [default] on a miss instead of boxing the payload in an option. *)
+let find_default t ~set ~tag ~default =
+  let row = row t set in
+  let i = scan_way row t.ways tag 0 in
+  if i < 0 then default
+  else begin
+    let e = row.(i) in
+    touch t e;
+    e.payload
+  end
 
 (** [mem t ~set ~tag] checks presence without updating recency. *)
 let mem t ~set ~tag =
-  let row = t.entries.(set mod t.sets) in
+  let row = row t set in
   Array.exists (fun e -> e.valid && e.tag = tag) row
 
 (** [update t ~set ~tag ~f] applies [f] to the payload on hit (refreshing
     recency); returns whether the entry was present. *)
 let update t ~set ~tag ~f =
-  let row = t.entries.(set mod t.sets) in
+  let row = row t set in
   let rec loop i =
     if i >= t.ways then false
     else
@@ -77,7 +111,7 @@ let update t ~set ~tag ~f =
 (** [insert t ~set ~tag payload] inserts, evicting the LRU way if needed.
     Returns the evicted [(tag, payload)] if a valid entry was displaced. *)
 let insert t ~set ~tag payload =
-  let row = t.entries.(set mod t.sets) in
+  let row = row t set in
   (* Prefer refreshing an existing entry with the same tag. *)
   let existing = ref None in
   Array.iter (fun e -> if e.valid && e.tag = tag then existing := Some e) row;
@@ -104,7 +138,7 @@ let insert t ~set ~tag payload =
 
 (** [invalidate t ~set ~tag] removes an entry if present. *)
 let invalidate t ~set ~tag =
-  let row = t.entries.(set mod t.sets) in
+  let row = row t set in
   Array.iter
     (fun e ->
       if e.valid && e.tag = tag then begin

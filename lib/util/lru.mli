@@ -17,6 +17,14 @@ val ways : 'a t -> int
     [set] is reduced modulo the set count. *)
 val find : 'a t -> set:int -> tag:int -> 'a option
 
+(** [hit t ~set ~tag] is [find <> None] without the option box: recency
+    is refreshed exactly as by [find], but only presence is reported. *)
+val hit : 'a t -> set:int -> tag:int -> bool
+
+(** [find_default t ~set ~tag ~default] — like [find] but returns
+    [default] on a miss instead of boxing the payload in an option. *)
+val find_default : 'a t -> set:int -> tag:int -> default:'a -> 'a
+
 (** [mem t ~set ~tag] checks presence without touching recency. *)
 val mem : 'a t -> set:int -> tag:int -> bool
 

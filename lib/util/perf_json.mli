@@ -1,5 +1,6 @@
-(** Minimal JSON emission for the bench harnesses' machine-readable perf
-    records. Write-only by design. *)
+(** Minimal JSON for the bench harnesses' machine-readable perf records.
+    The parser accepts exactly the subset the emitter produces (plus
+    whitespace); its one in-tree client is [bench/perfgate.exe]. *)
 
 type t =
   | Null
@@ -18,3 +19,15 @@ val write_file : string -> t -> unit
 
 (** Peak-RSS field: [Null] when the probe reported absent. *)
 val of_rss : int option -> t
+
+(** [parse s] — parse the emitted JSON subset back into a value. *)
+val parse : string -> (t, string) result
+
+(** [read_file path] — [parse] the whole file; [Error] on IO failure. *)
+val read_file : string -> (t, string) result
+
+(** [member k v] — field [k] of object [v]; [None] on non-objects. *)
+val member : string -> t -> t option
+
+(** Numeric coercion: [Int] and [Float] both yield a float. *)
+val to_float_opt : t -> float option

@@ -5,9 +5,9 @@ type t = { table : (string, int ref) Hashtbl.t; mutable order : string list }
 let create () = { table = Hashtbl.create 64; order = [] }
 
 let cell t name =
-  match Hashtbl.find_opt t.table name with
-  | Some r -> r
-  | None ->
+  match Hashtbl.find t.table name with
+  | r -> r
+  | exception Not_found ->
     let r = ref 0 in
     Hashtbl.add t.table name r;
     t.order <- name :: t.order;

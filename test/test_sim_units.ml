@@ -174,6 +174,192 @@ let test_fsm_reset () =
   check Alcotest.(option (pair int bool)) "loop buffer cleared" None
     (Wish_fsm.last_loop_prediction fsm ~pc:11)
 
+(* Wish FSM × compiled transition table --------------------------------------- *)
+
+(* Exhaustive equivalence check: for every (mode, branch kind, confidence,
+   predicted direction) input — the full 48-entry axis of
+   {!Plan.wish_table} — drive two fresh FSMs into the same starting mode,
+   apply the interpreted transition ({!Wish_fsm.on_wish_branch}) to one
+   and the compiled packed entry ({!Wish_fsm.apply_packed}) to the other,
+   and compare every observable: returned direction, resulting mode, the
+   forwarding buffer (guard and complement), and the two low-mode exit
+   behaviors (region-exit fetch, loop predicted-exit). *)
+
+let kind_of_code = function
+  | 0 -> Inst.Cond
+  | 1 -> Inst.Wish_jump
+  | 2 -> Inst.Wish_join
+  | _ -> Inst.Wish_loop
+
+let fsm_in_mode mode =
+  let fsm = Wish_fsm.create () in
+  Wish_fsm.set_complement fsm ~pt:1 ~pf:2;
+  (match mode with
+  | 0 -> ()
+  | 1 ->
+    ignore
+      (Wish_fsm.on_wish_branch fsm ~kind:Inst.Wish_jump ~pc:900 ~target:910 ~conf_high:true
+         ~predictor_dir:true ~guard:3)
+  | _ ->
+    ignore
+      (Wish_fsm.on_wish_branch fsm ~kind:Inst.Wish_jump ~pc:900 ~target:910 ~conf_high:false
+         ~predictor_dir:true ~guard:3));
+  Alcotest.(check int)
+    (Printf.sprintf "prep mode %d" mode)
+    mode (Wish_fsm.mode_code fsm);
+  fsm
+
+let test_fsm_table_exhaustive () =
+  for mode = 0 to 2 do
+    for kind = 0 to 3 do
+      List.iter
+        (fun conf_high ->
+          List.iter
+            (fun dir ->
+              let tag =
+                Printf.sprintf "mode=%d kind=%d conf=%b dir=%b" mode kind conf_high dir
+              in
+              let a = fsm_in_mode mode and b = fsm_in_mode mode in
+              let dir_a =
+                Wish_fsm.on_wish_branch a ~kind:(kind_of_code kind) ~pc:10 ~target:20
+                  ~conf_high ~predictor_dir:dir ~guard:1
+              in
+              let packed = Plan.wish_table.(Plan.wish_index ~mode ~kind ~conf_high ~dir) in
+              let dir_b = Wish_fsm.apply_packed b ~packed ~pc:10 ~target:20 ~guard:1 in
+              check Alcotest.bool (tag ^ ": direction") dir_a dir_b;
+              check Alcotest.int (tag ^ ": mode") (Wish_fsm.mode_code a) (Wish_fsm.mode_code b);
+              check
+                Alcotest.(option bool)
+                (tag ^ ": guard forwarding") (Wish_fsm.forwarded_value a 1)
+                (Wish_fsm.forwarded_value b 1);
+              check
+                Alcotest.(option bool)
+                (tag ^ ": complement forwarding") (Wish_fsm.forwarded_value a 2)
+                (Wish_fsm.forwarded_value b 2);
+              (* Low-mode region exit: fetching the branch target must
+                 leave (or not leave) low mode identically. *)
+              Wish_fsm.on_fetch_pc a ~pc:20;
+              Wish_fsm.on_fetch_pc b ~pc:20;
+              check Alcotest.int (tag ^ ": mode after target fetch") (Wish_fsm.mode_code a)
+                (Wish_fsm.mode_code b);
+              (* Low-mode loop exit: a predicted loop exit at this pc must
+                 leave (or not leave) low mode identically. *)
+              Wish_fsm.record_loop_prediction a ~pc:10 ~dir:false;
+              Wish_fsm.record_loop_prediction b ~pc:10 ~dir:false;
+              check Alcotest.int (tag ^ ": mode after loop exit") (Wish_fsm.mode_code a)
+                (Wish_fsm.mode_code b))
+            [ false; true ])
+        [ false; true ]
+    done
+  done
+
+(* The wish-loop misprediction classes (paper Section 3.2): a resolved
+   low-confidence wish loop classifies as early-exit (actual taken — the
+   loop must run longer), late-exit (the front end already finished that
+   visit) or no-exit (the front end is still fetching the visit). The
+   cores decide late vs no-exit from the FSM's per-static-loop generation
+   and last-direction buffers; this test pins those observations for each
+   class, across a loop re-entry (the footnote-8 case). *)
+let test_fsm_loop_classes () =
+  let fsm = Wish_fsm.create () in
+  let pc = 10 in
+  (* Visit 0: the front end predicts iterate, iterate. A branch from this
+     visit resolving not-taken while gen is still 0 and the last
+     prediction is an iterate sees (gen = its own, dir = taken): the
+     front end has not exited — Lc_no_exit. *)
+  let g0 = Wish_fsm.loop_generation fsm ~pc in
+  check Alcotest.int "first visit generation" 0 g0;
+  Wish_fsm.record_loop_prediction fsm ~pc ~dir:true;
+  Wish_fsm.record_loop_prediction fsm ~pc ~dir:true;
+  Alcotest.(check bool) "no-exit: same generation" true (Wish_fsm.last_loop_gen fsm ~pc = g0);
+  Alcotest.(check bool) "no-exit: still iterating" true (Wish_fsm.last_loop_dir fsm ~pc);
+  (* The front end predicts the exit: the visit closes. A branch from
+     visit 0 now sees dir = not-taken — Lc_late (extra iterations flow
+     through as NOPs; no flush). *)
+  Wish_fsm.record_loop_prediction fsm ~pc ~dir:false;
+  Alcotest.(check bool) "late: exit recorded" true (not (Wish_fsm.last_loop_dir fsm ~pc));
+  (* Re-entry: the next visit's generation is bumped, so a stale branch
+     from visit 0 sees gen > its own even while the new visit iterates —
+     still Lc_late, not no-exit (footnote 8). *)
+  Wish_fsm.record_loop_prediction fsm ~pc ~dir:true;
+  let g1 = Wish_fsm.loop_generation fsm ~pc in
+  Alcotest.(check bool) "re-entry bumps generation" true (g1 > g0);
+  Alcotest.(check bool) "late across re-entry: gen moved on" true
+    (Wish_fsm.last_loop_gen fsm ~pc > g0);
+  (* Lc_early needs no front-end observation: the branch's own actual
+     direction (taken = the loop must keep iterating) forces the flush
+     regardless of generation. Pin the classification predicate's other
+     half: a fresh static loop with no recorded prediction reads gen -1,
+     which also classifies late (the visit is long gone). *)
+  check Alcotest.int "unseen loop reads gen -1" (-1) (Wish_fsm.last_loop_gen fsm ~pc:99)
+
+(* Calendar wheel -------------------------------------------------------------- *)
+
+(* Latencies at and beyond the horizon: events exactly at [now + horizon],
+   just under it, several rotations out, and bursts sharing one far cycle
+   must all fire exactly at their due cycle, in ascending-id order. *)
+let test_wheel_overflow_latencies () =
+  let horizon = Wheel.horizon (Wheel.create ~horizon:1024 ~dummy:0) in
+  check Alcotest.int "horizon under test" 1024 horizon;
+  let w = Wheel.create ~horizon:1024 ~dummy:0 in
+  let fired = ref [] in
+  let expect = Hashtbl.create 16 in
+  let schedule ~now ~due ~id =
+    Wheel.schedule w ~now ~due ~id 0;
+    Hashtbl.replace expect id due
+  in
+  (* From cycle 0: just inside the horizon, the exact boundary, just
+     past it, and multiple rotations out. *)
+  schedule ~now:0 ~due:1023 ~id:1;
+  schedule ~now:0 ~due:1024 ~id:2;
+  schedule ~now:0 ~due:1025 ~id:3;
+  schedule ~now:0 ~due:5000 ~id:4;
+  (* A far burst sharing one due cycle, scheduled in descending id order
+     to exercise the drain-time sort. *)
+  for k = 0 to 9 do
+    schedule ~now:0 ~due:2500 ~id:(20 - k)
+  done;
+  (* From a nonzero now: the same-rotation far case (due in rotation 1
+     while now is late in rotation 0) and a boundary case landing on a
+     rotation-start cycle. *)
+  schedule ~now:1000 ~due:2047 ~id:30;
+  schedule ~now:1000 ~due:2048 ~id:31;
+  for now = 1 to 6000 do
+    Wheel.drain w ~now ~f:(fun id _ -> fired := (now, id) :: !fired)
+  done;
+  let fired = List.rev !fired in
+  check Alcotest.int "every event fired exactly once" (Hashtbl.length expect)
+    (List.length fired);
+  List.iter
+    (fun (now, id) ->
+      match Hashtbl.find_opt expect id with
+      | Some due -> check Alcotest.int (Printf.sprintf "id %d fires at its due" id) due now
+      | None -> Alcotest.failf "unexpected event id %d at cycle %d" id now)
+    fired;
+  (* Ascending-id order within a cycle. *)
+  ignore
+    (List.fold_left
+       (fun (prev_now, prev_id) (now, id) ->
+         if now = prev_now then
+           Alcotest.(check bool)
+             (Printf.sprintf "ascending ids at cycle %d" now)
+             true (id > prev_id);
+         (now, id))
+       (-1, -1) fired)
+
+(* An event rescheduled from within a drain callback (dependent wakeups)
+   must land in a later cycle, including across the horizon. *)
+let test_wheel_reschedule_from_drain () =
+  let w = Wheel.create ~horizon:1024 ~dummy:0 in
+  Wheel.schedule w ~now:0 ~due:10 ~id:1 0;
+  let second = ref (-1) in
+  for now = 1 to 3000 do
+    Wheel.drain w ~now ~f:(fun id _ ->
+        if id = 1 then Wheel.schedule w ~now ~due:(now + 1024) ~id:2 0
+        else if id = 2 then second := now)
+  done;
+  check Alcotest.int "chained far event fires at due" 1034 !second
+
 (* RAT ------------------------------------------------------------------------ *)
 
 let test_rat_producers () =
@@ -202,25 +388,15 @@ let test_rat_snapshot_restore () =
 (* Uop ----------------------------------------------------------------------- *)
 
 let branch_rec ~predicted ~actual ~is_return ~target ~next : Uop.branch_rec =
-  {
-    Uop.predicted_taken = predicted;
-    predicted_target = target;
-    actual_taken = actual;
-    actual_next = next;
-    lookup = None;
-    snapshot = None;
-    ras_top = 0;
-    cursor_next = 0;
-    fetch_mode = Uop.Normal;
-    conf_high = None;
-    conf_history = 0;
-    wish_kind = None;
-    is_return;
-    loop_gen = 0;
-    rat_ckpt = None;
-    resolved = false;
-    loop_class = Uop.Lc_none;
-  }
+  let b =
+    match (Uop.fresh ~branch:true).br with Some b -> b | None -> assert false
+  in
+  b.Uop.predicted_taken <- predicted;
+  b.predicted_target <- target;
+  b.actual_taken <- actual;
+  b.actual_next <- next;
+  b.is_return <- is_return;
+  b
 
 let test_uop_mispredicted () =
   Alcotest.(check bool) "direction wrong" true
@@ -256,6 +432,13 @@ let () =
           Alcotest.test_case "loop generations" `Quick test_fsm_loop_generations;
           Alcotest.test_case "loop exit leaves low" `Quick test_fsm_loop_exit_leaves_low_mode;
           Alcotest.test_case "reset" `Quick test_fsm_reset;
+          Alcotest.test_case "compiled table exhaustive" `Quick test_fsm_table_exhaustive;
+          Alcotest.test_case "loop misprediction classes" `Quick test_fsm_loop_classes;
+        ] );
+      ( "wheel",
+        [
+          Alcotest.test_case "overflow latencies" `Quick test_wheel_overflow_latencies;
+          Alcotest.test_case "reschedule from drain" `Quick test_wheel_reschedule_from_drain;
         ] );
       ( "rat",
         [
