@@ -152,13 +152,24 @@ let () =
     parse (1.6, 8, 3, false) (List.tl (Array.to_list Sys.argv))
   in
   if gc_tune then Gc_stats.tune ();
+  (* Missing and malformed baselines are different situations: the first
+     means "never measured on this machine", the second means the file on
+     disk is damaged (torn write, manual edit) — [J.read_file] is total,
+     so a damaged file surfaces here as a message, never a crash. *)
   let with_baseline file k =
     match J.read_file file with
     | Ok json -> k json
     | Error msg ->
       incr failures;
-      Printf.printf "%-28s missing baseline: %s (regenerate with the matching bench harness)\n%!"
-        file msg
+      if Sys.file_exists file then
+        Printf.printf
+          "%-28s malformed baseline: %s (delete it or regenerate with the matching bench \
+           harness)\n\
+           %!"
+          file msg
+      else
+        Printf.printf "%-28s missing baseline: %s (regenerate with the matching bench harness)\n%!"
+          file msg
   in
   with_baseline "BENCH_sim.json" (gate_sim ~tol ~iters:sim_iters);
   with_baseline "BENCH_emu.json" (gate_emu ~tol ~iters:emu_iters);

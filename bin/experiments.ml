@@ -132,22 +132,27 @@ let status_label = function
   | Cache.Entry_stale v -> Printf.sprintf "stale (format v%d)" v
   | Cache.Entry_corrupt reason -> Printf.sprintf "CORRUPT: %s" reason
 
+(* Exit codes (CI gates on them): 0 — every entry healthy (stale-format
+   entries are allowed; [prune] owns them); 1 — corrupt entries were
+   found, and they have been moved to the quarantine directory; 124 —
+   cmdliner usage errors (its default). *)
 let cache_verify dir quiet =
   let cache = Cache.create ?dir () in
-  let entries = Cache.scan cache in
-  let count pred = List.length (List.filter (fun (_, s) -> pred s) entries) in
-  let ok = count (function Cache.Entry_ok -> true | _ -> false) in
-  let stale = count (function Cache.Entry_stale _ -> true | _ -> false) in
-  let corrupt = count (function Cache.Entry_corrupt _ -> true | _ -> false) in
+  let r = Cache.verify cache in
   if not quiet then
     List.iter
       (fun (rel, s) ->
         match s with Cache.Entry_ok -> () | s -> Fmt.pr "%-48s %s@." rel (status_label s))
-      entries;
-  Fmt.pr "%s: %d entr%s ok, %d stale, %d corrupt@." (Cache.dir cache) ok
-    (if ok = 1 then "y" else "ies")
-    stale corrupt;
-  if corrupt > 0 then exit 1
+      r.Cache.v_entries;
+  Fmt.pr "%s: %d entr%s ok, %d stale, %d corrupt@." (Cache.dir cache) r.Cache.v_ok
+    (if r.Cache.v_ok = 1 then "y" else "ies")
+    r.Cache.v_stale r.Cache.v_quarantined;
+  if r.Cache.v_quarantined > 0 then begin
+    Fmt.pr "quarantined %d corrupt entr%s under %s@." r.Cache.v_quarantined
+      (if r.Cache.v_quarantined = 1 then "y" else "ies")
+      (Cache.quarantine_dir cache);
+    exit 1
+  end
 
 let cache_prune dir =
   let cache = Cache.create ?dir () in
@@ -164,7 +169,9 @@ let cache_cmd =
     let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only print the summary line") in
     Cmd.v
       (Cmd.info "verify"
-         ~doc:"Scan every cache entry's version header and integrity footer; exit 1 if any is corrupt")
+         ~doc:"Scan every cache entry's version header and integrity footer, quarantining \
+               corrupt entries. Exit 0: healthy (stale-format entries allowed); exit 1: \
+               corrupt entries found and quarantined.")
       Term.(const cache_verify $ cache_dir_arg $ quiet)
   in
   let prune =

@@ -31,6 +31,15 @@
 
 open Wish_isa
 
+(* Translation-time miscompile drill for the differential fuzzer: when
+   armed, add-immediate closures are specialized with [k + 1]. The
+   wishfuzz lockstep oracle must catch it and shrink the counterexample
+   to a few instructions — the end-to-end proof that the oracle watches
+   every specialized closure, not just the dispatch loop. *)
+let bug_site =
+  Wish_util.Faultpoint.register "emu.compile.bug"
+    ~doc:"miscompile add-immediate (k+1) during closure specialization (wishfuzz drill)"
+
 type sink = Exec.out -> unit
 
 (* Physical-identity sentinel: [run ~sink:no_sink] skips the per-step
@@ -105,7 +114,9 @@ let specialize (m : Exec.mode) code pc : State.t -> Exec.out -> unit =
         match src2 with
         | Inst.Imm k -> (
           match op with
-          | Inst.Add -> fun st -> wr st dst (rd st src1 + k)
+          | Inst.Add ->
+            let k = if Wish_util.Faultpoint.fires bug_site then k + 1 else k in
+            fun st -> wr st dst (rd st src1 + k)
           | Inst.Sub -> fun st -> wr st dst (rd st src1 - k)
           | Inst.Mul -> fun st -> wr st dst (rd st src1 * k)
           | Inst.And -> fun st -> wr st dst (rd st src1 land k)

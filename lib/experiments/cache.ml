@@ -274,6 +274,31 @@ let scan t =
 
 type prune_report = { kept : int; evicted_stale : int; quarantined : int }
 
+type verify_report = {
+  v_entries : (string * status) list;
+  v_ok : int;
+  v_stale : int;
+  v_quarantined : int;
+}
+
+(* Health check with teeth: corrupt entries are quarantined on sight — a
+   later lookup would do the same, but CI wants the cache clean at gate
+   time. Stale-format entries are only reported: they are normal after a
+   format bump and [prune] owns their eviction. *)
+let verify t =
+  let entries = scan t in
+  let ok = ref 0 and stale = ref 0 and quarantined = ref 0 in
+  List.iter
+    (fun (rel, status) ->
+      match status with
+      | Entry_ok -> incr ok
+      | Entry_stale _ -> incr stale
+      | Entry_corrupt _ ->
+        quarantine t (Filename.concat t.root rel) ~kind:(Filename.basename (Filename.dirname rel));
+        incr quarantined)
+    entries;
+  { v_entries = entries; v_ok = !ok; v_stale = !stale; v_quarantined = !quarantined }
+
 let prune t =
   List.fold_left
     (fun acc (rel, status) ->

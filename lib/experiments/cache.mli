@@ -101,6 +101,19 @@ type status =
     and nothing on disk is modified. *)
 val scan : t -> (string * status) list
 
+type verify_report = {
+  v_entries : (string * status) list;  (** the {!scan}, pre-quarantine *)
+  v_ok : int;
+  v_stale : int;  (** reported only — {!prune} owns their eviction *)
+  v_quarantined : int;  (** corrupt entries moved to the quarantine *)
+}
+
+(** [verify t] — {!scan}, then immediately quarantine every corrupt
+    entry (stale-format entries are left in place). The health check
+    behind [experiments cache verify], whose exit code gates CI on
+    [v_quarantined = 0]. *)
+val verify : t -> verify_report
+
 type prune_report = { kept : int; evicted_stale : int; quarantined : int }
 
 (** [prune t] — {!scan}, then delete stale-version entries and move

@@ -1,0 +1,198 @@
+(** Greedy shrinker. Every candidate strictly decreases {!size}, so the
+    descent in {!minimize} terminates without a fuel hack; [max_tries]
+    only bounds oracle spend. Candidate order is a fixed structural
+    traversal (big collapses before literal nudges), which together with
+    a deterministic oracle makes the whole shrink trace reproducible. *)
+
+module Ast = Wish_compiler.Ast
+
+(* --- measure --------------------------------------------------------- *)
+
+let bits n =
+  let rec go acc n = if n = 0 then acc else go (acc + 1) (n / 2) in
+  go 0 (abs n)
+
+let rec expr_size = function
+  | Ast.Int n -> 1 + bits n
+  | Ast.Var _ -> 3
+  | Ast.Binop (_, a, b) | Ast.Cmp (_, a, b) -> 2 + expr_size a + expr_size b
+  | Ast.Load a -> 2 + expr_size a
+
+let rec stmt_size = function
+  | Ast.Assign (_, e) -> 2 + expr_size e
+  | Ast.Store (a, e) -> 2 + expr_size a + expr_size e
+  | Ast.If (c, t, e) -> 3 + expr_size c + block_size t + block_size e
+  | Ast.While (c, b) -> 3 + expr_size c + block_size b
+  | Ast.Do_while (b, c) -> 3 + expr_size c + block_size b
+  | Ast.For (_, e1, e2, b) -> 3 + expr_size e1 + expr_size e2 + block_size b
+  | Ast.Call _ -> 5
+
+and block_size b = List.fold_left (fun acc s -> acc + stmt_size s) 0 b
+
+let data_size d = List.fold_left (fun acc (_, v) -> acc + 2 + bits v) 0 d
+
+let size (c : Gen.case) =
+  let ast = c.Gen.c_ast in
+  List.fold_left (fun acc (_, b) -> acc + 4 + block_size b) 0 ast.Ast.funcs
+  + block_size ast.Ast.main
+  + data_size c.Gen.c_profile_data
+  + data_size c.Gen.c_eval_data
+
+(* --- candidates ------------------------------------------------------ *)
+
+(* Each enumerator returns [(descr, replacement)] in a fixed order; every
+   replacement is strictly smaller under the measure above (checked case
+   by case: collapses drop at least one weighted node, literal rewrites
+   drop at least one bit). *)
+
+let rec expr_cands path e =
+  let sub d e' = (Printf.sprintf "%s:%s" path d, e') in
+  match e with
+  | Ast.Int n ->
+    (if n <> 0 then [ sub "int->0" (Ast.Int 0) ] else [])
+    @ if abs n >= 2 then [ sub "int/2" (Ast.Int (n / 2)) ] else []
+  | Ast.Var _ -> [ sub "var->0" (Ast.Int 0) ]
+  | Ast.Binop (op, a, b) ->
+    [ sub "lhs" a; sub "rhs" b ]
+    @ List.map (fun (d, a') -> (d, Ast.Binop (op, a', b))) (expr_cands (path ^ ".l") a)
+    @ List.map (fun (d, b') -> (d, Ast.Binop (op, a, b'))) (expr_cands (path ^ ".r") b)
+  | Ast.Cmp (op, a, b) ->
+    [ sub "cmp->0" (Ast.Int 0); sub "cmp->1" (Ast.Int 1); sub "lhs" a; sub "rhs" b ]
+    @ List.map (fun (d, a') -> (d, Ast.Cmp (op, a', b))) (expr_cands (path ^ ".l") a)
+    @ List.map (fun (d, b') -> (d, Ast.Cmp (op, a, b'))) (expr_cands (path ^ ".r") b)
+  | Ast.Load a ->
+    [ sub "load->0" (Ast.Int 0); sub "load->addr" a ]
+    @ List.map (fun (d, a') -> (d, Ast.Load a')) (expr_cands (path ^ ".a") a)
+
+(* Candidates for one statement, each replacement a {e splice} (statement
+   list), so arms and loop bodies can dissolve into the enclosing block. *)
+let rec stmt_cands path s : (string * Ast.stmt list) list =
+  let sub d r = (Printf.sprintf "%s:%s" path d, r) in
+  let in_expr tag wrap e =
+    List.map (fun (d, e') -> (d, [ wrap e' ])) (expr_cands (path ^ "." ^ tag) e)
+  in
+  match s with
+  | Ast.Assign (v, e) -> in_expr "e" (fun e' -> Ast.Assign (v, e')) e
+  | Ast.Store (a, e) ->
+    in_expr "a" (fun a' -> Ast.Store (a', e)) a @ in_expr "e" (fun e' -> Ast.Store (a, e')) e
+  | Ast.If (c, t, e) ->
+    [ sub "if->then" t ]
+    @ (if e <> [] then [ sub "if->else" e; sub "drop-else" [ Ast.If (c, t, []) ] ] else [])
+    @ in_expr "c" (fun c' -> Ast.If (c', t, e)) c
+    @ List.map (fun (d, t') -> (d, [ Ast.If (c, t', e) ])) (block_cands (path ^ ".t") t)
+    @ List.map (fun (d, e') -> (d, [ Ast.If (c, t, e') ])) (block_cands (path ^ ".e") e)
+  | Ast.While (c, b) ->
+    [ sub "while->body" b ]
+    @ in_expr "c" (fun c' -> Ast.While (c', b)) c
+    @ List.map (fun (d, b') -> (d, [ Ast.While (c, b') ])) (block_cands (path ^ ".b") b)
+  | Ast.Do_while (b, c) ->
+    [ sub "do->body" b ]
+    @ List.map (fun (d, b') -> (d, [ Ast.Do_while (b', c) ])) (block_cands (path ^ ".b") b)
+    @ in_expr "c" (fun c' -> Ast.Do_while (b, c')) c
+  | Ast.For (v, e1, e2, b) ->
+    [ sub "for->body" b ]
+    @ in_expr "lo" (fun e1' -> Ast.For (v, e1', e2, b)) e1
+    @ in_expr "hi" (fun e2' -> Ast.For (v, e1, e2', b)) e2
+    @ List.map (fun (d, b') -> (d, [ Ast.For (v, e1, e2, b') ])) (block_cands (path ^ ".b") b)
+  | Ast.Call _ -> []
+
+and block_cands path b : (string * Ast.block) list =
+  List.concat
+    (List.mapi
+       (fun i s ->
+         let p = Printf.sprintf "%s.%d" path i in
+         let splice repl = List.concat (List.mapi (fun j s' -> if i = j then repl else [ s' ]) b) in
+         (p ^ ":drop", splice [])
+         :: List.map (fun (d, repl) -> (d, splice repl)) (stmt_cands p s))
+       b)
+
+let rec calls_in_stmt f = function
+  | Ast.Call g -> String.equal f g
+  | Ast.If (_, t, e) -> calls_in f t || calls_in f e
+  | Ast.While (_, b) | Ast.Do_while (b, _) | Ast.For (_, _, _, b) -> calls_in f b
+  | Ast.Assign _ | Ast.Store _ -> false
+
+and calls_in f b = List.exists (calls_in_stmt f) b
+
+let data_cands path d =
+  List.concat
+    (List.mapi
+       (fun i (a, v) ->
+         let p = Printf.sprintf "%s.%d" path i in
+         (p ^ ":drop", List.filteri (fun j _ -> j <> i) d)
+         ::
+         (if v <> 0 then
+            [ (p ^ ":val->0", List.mapi (fun j (a', v') -> if i = j then (a, 0) else (a', v')) d) ]
+          else []))
+       d)
+
+let candidates (c : Gen.case) =
+  let ast = c.Gen.c_ast in
+  let with_ast ast' = { c with Gen.c_ast = ast' } in
+  let func_drops =
+    (* A function nobody calls anymore can go wholesale; called ones only
+       shrink from within (dropping them would break compilation). *)
+    List.concat
+      (List.mapi
+         (fun i (name, _) ->
+           let remaining = List.filteri (fun j _ -> j <> i) ast.Ast.funcs in
+           let called =
+             calls_in name ast.Ast.main
+             || List.exists (fun (_, b) -> calls_in name b) remaining
+           in
+           if called then []
+           else [ ("func." ^ name ^ ":drop", with_ast { ast with Ast.funcs = remaining }) ])
+         ast.Ast.funcs)
+  in
+  let func_bodies =
+    List.concat
+      (List.map
+         (fun (name, body) ->
+           List.map
+             (fun (d, body') ->
+               let funcs' =
+                 List.map (fun (n, b) -> if String.equal n name then (n, body') else (n, b)) ast.Ast.funcs
+               in
+               (d, with_ast { ast with Ast.funcs = funcs' }))
+             (block_cands ("func." ^ name) body))
+         ast.Ast.funcs)
+  in
+  let main_cands =
+    List.map (fun (d, m) -> (d, with_ast { ast with Ast.main = m })) (block_cands "main" ast.Ast.main)
+  in
+  let eval_cands =
+    List.map (fun (d, e) -> (d, { c with Gen.c_eval_data = e })) (data_cands "eval" c.Gen.c_eval_data)
+  in
+  let profile_cands =
+    List.map
+      (fun (d, p) -> (d, { c with Gen.c_profile_data = p }))
+      (data_cands "profile" c.Gen.c_profile_data)
+  in
+  func_drops @ main_cands @ func_bodies @ eval_cands @ profile_cands
+
+(* --- minimize -------------------------------------------------------- *)
+
+type result = { shrunk : Gen.case; trace : string list; steps : int; tried : int }
+
+let minimize ~fails ?(max_tries = 2000) case =
+  let tried = ref 0 in
+  let trace = ref [] in
+  let rec go case =
+    let rec try_cands = function
+      | [] -> case
+      | (d, c') :: rest ->
+        if !tried >= max_tries then case
+        else begin
+          incr tried;
+          if fails c' then begin
+            trace := d :: !trace;
+            go c'
+          end
+          else try_cands rest
+        end
+    in
+    try_cands (candidates case)
+  in
+  let shrunk = go case in
+  let trace = List.rev !trace in
+  { shrunk; trace; steps = List.length trace; tried = !tried }

@@ -1,0 +1,37 @@
+(** Greedy counterexample shrinker.
+
+    {!candidates} enumerates every one-step simplification of a case in a
+    fixed deterministic order — drop a statement, replace a diamond by
+    one arm, unroll a loop body once, shrink a trip count, halve a
+    literal, drop an input pair — and every candidate is {e strictly
+    smaller} under {!size}, so greedy descent terminates. {!minimize}
+    repeatedly accepts the first candidate that still fails the caller's
+    oracle and records the step descriptions; same seed, same oracle ⇒
+    byte-identical shrink trace (a property the test suite pins).
+
+    A candidate that no longer compiles, no longer terminates within
+    fuel, or merely stops failing is simply rejected — the oracle
+    predicate is consulted, nothing else. *)
+
+(** Shrink measure: AST nodes weighted so that every candidate strictly
+    decreases it (literals count their magnitude in bits, variables
+    outweigh constants). *)
+val size : Gen.case -> int
+
+(** One-step simplifications, deterministically ordered, each strictly
+    smaller under {!size}. The description strings name the rewrite and
+    its path (e.g. ["main.2:if->then"]). *)
+val candidates : Gen.case -> (string * Gen.case) list
+
+type result = {
+  shrunk : Gen.case;
+  trace : string list;  (** accepted rewrites, in application order *)
+  steps : int;  (** [List.length trace] *)
+  tried : int;  (** oracle evaluations spent *)
+}
+
+(** [minimize ~fails ?max_tries case] — greedy descent from [case]
+    (which the caller asserts fails). [fails] must be total: any
+    exception escaping it aborts the shrink. [max_tries] bounds oracle
+    evaluations (default 2000). *)
+val minimize : fails:(Gen.case -> bool) -> ?max_tries:int -> Gen.case -> result

@@ -265,3 +265,18 @@ let listing_of_code code =
   let buf = Buffer.create 256 in
   Code.iteri code (fun _ i -> Buffer.add_string buf (Inst.to_string i ^ "\n"));
   Buffer.contents buf
+
+(** [listing_of_program p] — the whole-program form: [.mem]/[.data]
+    directives followed by the code listing, so the output feeds back
+    into {!program_of_string} losslessly (entry must be 0, which is all
+    the toolchain emits). *)
+let listing_of_program (p : Program.t) =
+  if p.Program.entry <> 0 then
+    invalid_arg "Parse.listing_of_program: only entry-0 programs have a textual form";
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf ".mem %d\n" p.Program.mem_words);
+  List.iter
+    (fun (a, v) -> Buffer.add_string buf (Printf.sprintf ".data %d %d\n" a v))
+    p.Program.data;
+  Buffer.add_string buf (listing_of_code p.Program.code);
+  Buffer.contents buf

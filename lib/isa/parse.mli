@@ -19,3 +19,10 @@ val program_of_file : string -> Program.t
 (** [listing_of_code code] prints a listing that {!program_of_string}
     accepts (numeric [@N] targets, one instruction per line). *)
 val listing_of_code : Code.t -> string
+
+(** [listing_of_program p] — [.mem]/[.data] directives plus the code
+    listing: the lossless textual form of a whole program, accepted by
+    {!program_of_string} (fuzzer repros are saved in this shape). Raises
+    [Invalid_argument] if [p.entry] is nonzero — the textual syntax has
+    no entry directive. *)
+val listing_of_program : Program.t -> string

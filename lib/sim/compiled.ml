@@ -406,6 +406,22 @@ let plan_for config (program : Program.t) =
 (* Core state                                                         *)
 (* ----------------------------------------------------------------- *)
 
+(* Fetch-time facts of a branch, filled by {!fetch_branch} for its
+   caller: the followed direction, target, BTB bubble and oracle
+   direction, plus join-point scratch so the wish/plain arms need not
+   build tuples. Per-core (not module-global): cores on different
+   domains fetch concurrently. *)
+type fb_out = {
+  mutable fb_dir : bool;
+  mutable fb_target : int;
+  mutable fb_bubble : int;
+  mutable fb_actual : bool;
+  mutable fb_conf : bool;
+  mutable fb_fdir : bool;
+  mutable fb_gen : int;
+  mutable fb_anext : int;
+}
+
 type t = {
   config : Config.t;
   plan : Plan.t;
@@ -422,6 +438,7 @@ type t = {
   flush_cells : int ref option array; (* per-pc flush@pc cells, first-touch *)
   misp_cells : int ref option array; (* per-pc misp@pc cells, first-touch *)
   wish_table : int array;
+  fb : fb_out; (* fetch_branch → fetch-stage result channel *)
   trace_fwd : bool; (* WISH_TRACE_FWD debug stream enabled *)
   mutable cycle : int;
   mutable next_id : int;
@@ -475,6 +492,17 @@ let create ?warm ?(start_cursor = 0) ?start_pc ?(release_trace = true) (config :
     flush_cells = Array.make plan.npcs None;
     misp_cells = Array.make plan.npcs None;
     wish_table = Plan.wish_table;
+    fb =
+      {
+        fb_dir = false;
+        fb_target = 0;
+        fb_bubble = 0;
+        fb_actual = false;
+        fb_conf = false;
+        fb_fdir = false;
+        fb_gen = 0;
+        fb_anext = 0;
+      };
     trace_fwd = Sys.getenv_opt "WISH_TRACE_FWD" <> None;
     cycle = 0;
     next_id = 0;
@@ -607,31 +635,7 @@ let recycle t (u : Uop.t) =
    {!Core.fetch_branch}): prediction, wish-mode transition, RAS and BTB
    effects. Fills and returns the branch µop; the followed direction,
    target, BTB bubble and oracle direction come back through the
-   [fb_*] scratch fields below. *)
-type fb_out = {
-  mutable fb_dir : bool;
-  mutable fb_target : int;
-  mutable fb_bubble : int;
-  mutable fb_actual : bool;
-  (* join-point scratch, so the wish/plain arms need not build tuples *)
-  mutable fb_conf : bool;
-  mutable fb_fdir : bool;
-  mutable fb_gen : int;
-  mutable fb_anext : int;
-}
-
-let fb =
-  {
-    fb_dir = false;
-    fb_target = 0;
-    fb_bubble = 0;
-    fb_actual = false;
-    fb_conf = false;
-    fb_fdir = false;
-    fb_gen = 0;
-    fb_anext = 0;
-  }
-
+   [t.fb] scratch fields. *)
 let fetch_branch t ~pc ~path ~has_entry =
   let plan = t.plan in
   let s = t.s in
@@ -698,16 +702,16 @@ let fetch_branch t ~pc ~path ~has_entry =
       in
       let gen = Wish_fsm.loop_generation s.fsm ~pc in
       if kind = Plan.k_wish_loop then Wish_fsm.record_loop_prediction s.fsm ~pc ~dir;
-      fb.fb_conf <- effective_high;
-      fb.fb_fdir <- dir;
-      fb.fb_gen <- gen
+      t.fb.fb_conf <- effective_high;
+      t.fb.fb_fdir <- dir;
+      t.fb.fb_gen <- gen
     end
     else begin
-      fb.fb_conf <- false;
-      fb.fb_fdir <- base_dir;
-      fb.fb_gen <- 0
+      t.fb.fb_conf <- false;
+      t.fb.fb_fdir <- base_dir;
+      t.fb.fb_gen <- 0
     end);
-  let conf_val = fb.fb_conf and final_dir = fb.fb_fdir and loop_gen = fb.fb_gen in
+  let conf_val = t.fb.fb_conf and final_dir = t.fb.fb_fdir and loop_gen = t.fb.fb_gen in
   (* Global history is updated with the predictor's output; the forced
      not-taken of low-confidence mode does not rewrite history. *)
   (if is_cond then begin
@@ -726,22 +730,22 @@ let fetch_branch t ~pc ~path ~has_entry =
     else (Array.unsafe_get plan.target_or_next pc)
   in
   (if has_entry then begin
-     fb.fb_actual <- e.b_taken;
-     fb.fb_anext <-
+     t.fb.fb_actual <- e.b_taken;
+     t.fb.fb_anext <-
        (if bshape = Plan.bs_return then e.b_next_pc
         else if e.b_taken then
           if (Array.unsafe_get plan.target pc) >= 0 then (Array.unsafe_get plan.target pc) else e.b_next_pc
         else pc + 1)
    end
    else if path == F_phantom then begin
-     fb.fb_actual <- false;
-     fb.fb_anext <- pc + 1
+     t.fb.fb_actual <- false;
+     t.fb.fb_anext <- pc + 1
    end
    else begin
-     fb.fb_actual <- final_dir;
-     fb.fb_anext <- predicted_target
+     t.fb.fb_actual <- final_dir;
+     t.fb.fb_anext <- predicted_target
    end);
-  let actual_taken = fb.fb_actual and actual_next = fb.fb_anext in
+  let actual_taken = t.fb.fb_actual and actual_next = t.fb.fb_anext in
   let btb_bubble =
     if final_dir && not knobs.perfect_bp then
       if Btb.hit t.btb ~pc then 0
@@ -780,10 +784,10 @@ let fetch_branch t ~pc ~path ~has_entry =
   b.loop_gen <- loop_gen;
   b.resolved <- false;
   b.loop_class <- Uop.Lc_none;
-  fb.fb_dir <- final_dir;
-  fb.fb_target <- predicted_target;
-  fb.fb_bubble <- btb_bubble;
-  fb.fb_actual <- actual_taken;
+  t.fb.fb_dir <- final_dir;
+  t.fb.fb_target <- predicted_target;
+  t.fb.fb_bubble <- btb_bubble;
+  t.fb.fb_actual <- actual_taken;
   u
 
 (* Initialize a plain (non-branch) µop from its template. [u.inst] is
@@ -881,7 +885,7 @@ let fetch_stage t =
               t.x_cont <- false
             else begin
               let u = fetch_branch t ~pc ~path ~has_entry in
-              let dir = fb.fb_dir in
+              let dir = t.fb.fb_dir in
               g.gids.(g.glen) <- u.Uop.id;
               g.glen <- g.glen + 1;
               t.x_budget <- t.x_budget - 1;
@@ -896,7 +900,7 @@ let fetch_stage t =
                  | Some b -> b.fetch_mode == Uop.Low_conf || path == F_phantom
                  | None -> false
                then
-                 if dir && (not fb.fb_actual) && path == F_correct then begin
+                 if dir && (not t.fb.fb_actual) && path == F_correct then begin
                    (* Iterating past the real exit: extra iterations flow
                       through as NOPs unless a flush cuts them short. *)
                    t.fetch_path <- F_phantom;
@@ -905,9 +909,9 @@ let fetch_stage t =
                  else if (not dir) && path == F_phantom then
                    (* Predicted exit while phantom: reconverge. *)
                    t.fetch_path <- F_correct);
-              t.fetch_pc <- (if dir then fb.fb_target else pc + 1);
-              if fb.fb_bubble > 0 then begin
-                t.fetch_stall_until <- t.cycle + fb.fb_bubble;
+              t.fetch_pc <- (if dir then t.fb.fb_target else pc + 1);
+              if t.fb.fb_bubble > 0 then begin
+                t.fetch_stall_until <- t.cycle + t.fb.fb_bubble;
                 t.x_cont <- false
               end
               else if dir then t.x_cont <- false (* fetch ends at a taken branch *)

@@ -359,6 +359,17 @@ let mean_ci xs =
    their own ratio estimate, combined weighted by stratum length. *)
 let aggregate ~spec ~period ~total_insts ~mem windows =
   let windows = List.filter (fun w -> w.w_entries > 0 && w.w_cycles > 0) windows in
+  (* Drop runt windows — ones truncated far below the detail length by
+     the end of the trace (the scheduler cannot predict this for a
+     streaming trace). Their per-entry cost is dominated by pipeline
+     fill and drain amortized over almost nothing, and the ratio
+     estimator would extrapolate that rate across the whole stratum:
+     on short traces a 100-entry runt has been observed to inflate the
+     cycle estimate 6-8x. When every window is a runt (a trace shorter
+     than one detail span), keep them all — the single cold window IS
+     the exact simulation. *)
+  let full w = w.w_entries * 4 >= spec.detail in
+  let windows = if List.exists full windows then List.filter full windows else windows in
   let head, tail = List.partition (fun w -> w.w_start < period) windows in
   let sum f ws = List.fold_left (fun a w -> a + f w) 0 ws in
   let n = sum (fun w -> w.w_entries) windows in

@@ -125,7 +125,13 @@ let parse s =
         | 'f' -> Buffer.add_char b '\012'
         | 'u' ->
           if !pos + 4 >= n then fail "truncated \\u escape";
-          let code = int_of_string ("0x" ^ String.sub s (!pos + 1) 4) in
+          let hex = String.sub s (!pos + 1) 4 in
+          let is_hex = function '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false in
+          (* [int_of_string_opt "0x.."] would also admit underscores, so
+             validate the digits ourselves; [fail], never [Failure]. *)
+          if not (String.for_all is_hex hex) then
+            fail (Printf.sprintf "bad \\u escape %S" hex);
+          let code = int_of_string ("0x" ^ hex) in
           pos := !pos + 4;
           (* Emitted \u escapes are control characters only; anything
              wider than a byte is out of our subset. *)
@@ -134,6 +140,10 @@ let parse s =
         | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
         incr pos;
         go ()
+      | c when Char.code c < 0x20 ->
+        (* The emitter always escapes control characters; a raw one in a
+           string marks a damaged or foreign file. *)
+        fail (Printf.sprintf "raw control character 0x%02x in string" (Char.code c))
       | c ->
         Buffer.add_char b c;
         incr pos;
@@ -159,7 +169,13 @@ let parse s =
       | Some f -> Float f
       | None -> fail (Printf.sprintf "bad number %S" tok))
   in
-  let rec parse_value () =
+  (* Explicit nesting cap: the emitted subset is a few levels deep, and a
+     deterministic limit beats depending on the platform stack size (the
+     [Stack_overflow] backstop below still covers the pathological
+     combination of depth and frame growth). *)
+  let max_depth = 1_000 in
+  let rec parse_value depth =
+    if depth > max_depth then fail "input nested too deeply";
     skip_ws ();
     match peek () with
     | None -> fail "unexpected end of input"
@@ -175,11 +191,11 @@ let parse s =
         List []
       end
       else begin
-        let items = ref [ parse_value () ] in
+        let items = ref [ parse_value (depth + 1) ] in
         skip_ws ();
         while peek () = Some ',' do
           incr pos;
-          items := parse_value () :: !items;
+          items := parse_value (depth + 1) :: !items;
           skip_ws ()
         done;
         expect ']';
@@ -198,7 +214,7 @@ let parse s =
           let k = parse_string () in
           skip_ws ();
           expect ':';
-          let v = parse_value () in
+          let v = parse_value (depth + 1) in
           (k, v)
         in
         let fields = ref [ field () ] in
@@ -214,13 +230,18 @@ let parse s =
     | Some _ -> parse_number ()
   in
   match
-    let v = parse_value () in
+    let v = parse_value 0 in
     skip_ws ();
     if !pos <> n then fail "trailing garbage";
     v
   with
   | v -> Ok v
   | exception Parse_fail msg -> Error msg
+  (* Totality backstops: no input may raise out of [parse]. The cases
+     below are unreachable from the emitted subset but reachable from
+     hostile bytes (absurd nesting, future parser slips). *)
+  | exception Stack_overflow -> Error "input nested too deeply"
+  | exception (Failure msg | Invalid_argument msg) -> Error ("malformed input: " ^ msg)
 
 let read_file path =
   match In_channel.with_open_bin path In_channel.input_all with

@@ -20,7 +20,10 @@ val write_file : string -> t -> unit
 (** Peak-RSS field: [Null] when the probe reported absent. *)
 val of_rss : int option -> t
 
-(** [parse s] — parse the emitted JSON subset back into a value. *)
+(** [parse s] — parse the emitted JSON subset back into a value. Total:
+    any malformed input (truncation, bad escapes, trailing garbage,
+    hostile nesting) yields [Error] with an offset-bearing message,
+    never an exception. *)
 val parse : string -> (t, string) result
 
 (** [read_file path] — [parse] the whole file; [Error] on IO failure. *)

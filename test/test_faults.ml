@@ -335,6 +335,39 @@ let test_resume_skips_journaled () =
   Alcotest.(check int) "both jobs served as resumed" 2 st.resumed
 
 (* ----------------------------------------------------------------- *)
+(* Emulator-compiler miscompile drill site                            *)
+(* ----------------------------------------------------------------- *)
+
+(* [emu.compile.bug] plants a wrong add-immediate during closure
+   specialization — the seeded "known bug" the differential fuzzer's
+   lockstep oracle must catch (see test_fuzz.ml for the full drill).
+   Here: the armed site visibly changes the architectural outcome, and
+   a recompile after disarming restores it. *)
+let test_emu_compile_bug () =
+  with_reset (fun () ->
+      let program =
+        Wish_isa.Parse.program_of_string ~name:"chaos-emu"
+          ".mem 64\nadd r1, r0, #5\nst [r1+0], r1\nhalt\n"
+      in
+      let run_compiled () =
+        let compiled =
+          Wish_emu.Compiled.compile ~mode:Wish_emu.Exec.Architectural
+            (Wish_isa.Program.code program)
+        in
+        let st = Wish_emu.State.create program in
+        let o = Wish_emu.Exec.make_out () in
+        Wish_emu.Compiled.run_to_halt compiled st o ~sink:Wish_emu.Compiled.no_sink ~fuel:1000;
+        Wish_emu.State.outcome st
+      in
+      let clean = run_compiled () in
+      FP.arm "emu.compile.bug" ~times:1_000;
+      let faulty = run_compiled () in
+      note "emu.compile.bug";
+      Alcotest.(check bool) "miscompile changes the outcome" false (clean = faulty);
+      FP.reset ();
+      Alcotest.(check bool) "recompile after disarm restores" true (clean = run_compiled ()))
+
+(* ----------------------------------------------------------------- *)
 (* Coverage: no production faultpoint escapes this suite              *)
 (* ----------------------------------------------------------------- *)
 
@@ -376,5 +409,6 @@ let () =
           Alcotest.test_case "fail-fast raises Job_failed" `Slow test_fail_fast_raises;
           Alcotest.test_case "resume skips journaled jobs" `Slow test_resume_skips_journaled;
         ] );
+      ("emu", [ Alcotest.test_case "compile-bug drill site" `Quick test_emu_compile_bug ]);
       ("coverage", [ Alcotest.test_case "every faultpoint exercised" `Quick test_coverage ]);
     ]

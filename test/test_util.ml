@@ -278,6 +278,73 @@ let test_table_formatters () =
   check Alcotest.string "float" "1.250" (Table.fmt_float 1.25);
   check Alcotest.string "percent" "12.5%" (Table.fmt_percent 12.5)
 
+(* Perf_json ---------------------------------------------------------- *)
+
+let test_perf_json_roundtrip () =
+  let v =
+    Perf_json.Obj
+      [
+        ("scale", Perf_json.Int 2);
+        ("pi", Perf_json.Float 3.5);
+        ("name", Perf_json.String "a \"quoted\" \\ name\n");
+        ("rss", Perf_json.Null);
+        ("ok", Perf_json.Bool true);
+        ("xs", Perf_json.List [ Perf_json.Int 1; Perf_json.Int (-2) ]);
+      ]
+  in
+  match Perf_json.parse (Perf_json.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "round-trips" true (v = v')
+  | Error e -> Alcotest.failf "round-trip parse failed: %s" e
+
+(* [parse] is total: every malformed input must come back as [Error]
+   with a diagnostic, never an exception — perfgate reads baseline
+   files that may be torn or hand-edited. *)
+let test_perf_json_malformed () =
+  let cases =
+    [
+      ("empty", "");
+      ("truncated object", "{\"a\": 1");
+      ("truncated string", "{\"a\": \"unterminated");
+      ("trailing garbage", "{\"a\": 1} extra");
+      ("bare word", "nul");
+      ("bad escape", "\"a\\q\"");
+      ("bad unicode escape", "\"\\u12xz\"");
+      ("short unicode escape", "\"\\u12");
+      ("missing colon", "{\"a\" 1}");
+      ("missing comma", "[1 2]");
+      ("lone minus", "-");
+      ("bad exponent", "1e");
+      ("control char in string", "\"a\nb\"");
+    ]
+  in
+  List.iter
+    (fun (label, s) ->
+      match Perf_json.parse s with
+      | Error msg -> Alcotest.(check bool) (label ^ " has message") true (String.length msg > 0)
+      | Ok _ -> Alcotest.failf "%s: parsed successfully" label)
+    cases
+
+let test_perf_json_deep_nesting () =
+  (* Hostile nesting must yield [Error], not a stack overflow. *)
+  let n = 1_000_000 in
+  let s = String.concat "" [ String.make n '['; "1"; String.make n ']' ] in
+  match Perf_json.parse s with
+  | Error msg -> Alcotest.(check bool) "diagnosed" true (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "hostile nesting parsed"
+
+let test_perf_json_members () =
+  match Perf_json.parse "{\"cases\": {\"gzip\": {\"ns\": 12.5}}}" with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok v ->
+    let ns =
+      Option.bind (Perf_json.member "cases" v) (fun c ->
+          Option.bind (Perf_json.member "gzip" c) (fun g ->
+              Option.bind (Perf_json.member "ns" g) Perf_json.to_float_opt))
+    in
+    Alcotest.(check (option (float 1e-9))) "nested member" (Some 12.5) ns;
+    Alcotest.(check bool) "missing member" true (Perf_json.member "nope" v = None);
+    Alcotest.(check bool) "member on non-object" true (Perf_json.member "x" (Perf_json.Int 1) = None)
+
 let () =
   Alcotest.run "wish_util"
     [
@@ -327,5 +394,12 @@ let () =
           Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "csv" `Quick test_table_csv;
           Alcotest.test_case "formatters" `Quick test_table_formatters;
+        ] );
+      ( "perf_json",
+        [
+          Alcotest.test_case "round-trip" `Quick test_perf_json_roundtrip;
+          Alcotest.test_case "malformed is Error" `Quick test_perf_json_malformed;
+          Alcotest.test_case "hostile nesting" `Quick test_perf_json_deep_nesting;
+          Alcotest.test_case "member access" `Quick test_perf_json_members;
         ] );
     ]
