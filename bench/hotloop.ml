@@ -6,39 +6,10 @@
    before/after yardstick for allocation work on the timing core.
    Usage: hotloop.exe [--gc-tune] [ITERS] (default 300). *)
 
-let tiny_hammock ~wish =
-  let open Wish_isa in
-  let hb ~guard l = if wish then Asm.wish_jump ~guard l else Asm.br ~guard l in
-  let items =
-    Asm.[
-      movi 3 0;
-      movi 4 0;
-      label "loop";
-      alu Inst.And 6 3 (Inst.Imm 255);
-      load 7 6 64;
-      cmp Inst.Eq ~dst_false:2 1 7 (Inst.Imm 1);
-      hb ~guard:1 "then_";
-      alu ~guard:2 Inst.Add 4 4 (Inst.Reg 7);
-      alu ~guard:2 Inst.Xor 4 4 (Inst.Imm 3);
-      (if wish then Asm.wish_join ~guard:2 "join" else Asm.jmp "join");
-      label "then_";
-      alu ~guard:1 Inst.Sub 4 4 (Inst.Imm 7);
-      alu ~guard:1 Inst.Xor 4 4 (Inst.Imm 11);
-      label "join";
-      alu Inst.Add 3 3 (Inst.Imm 1);
-      cmp Inst.Lt 1 3 (Inst.Imm 64);
-      br ~guard:1 "loop";
-      halt;
-    ]
-  in
-  let rng = Wish_util.Rng.create 5 in
-  let data = List.init 256 (fun k -> (64 + k, Wish_util.Rng.int rng 2)) in
-  Wish_isa.Program.create ~mem_words:4096 ~data (Wish_isa.Asm.assemble items)
-
 module Gc_stats = Wish_util.Gc_stats
 
 let time_case ~name ~iters ?(config = Wish_sim.Config.default) ~wish () =
-  let program = tiny_hammock ~wish in
+  let program = Hotkernels.tiny_hammock ~wish in
   let trace, _ = Wish_emu.Trace.generate program in
   for _ = 1 to iters / 10 do
     ignore (Wish_sim.Runner.simulate ~config ~trace program)
@@ -73,13 +44,9 @@ let () =
   if gc_tune then Gc_stats.tune ();
   let wall0 = Unix.gettimeofday () in
   let cases =
-    [
-      time_case ~name:"fig10" ~iters ~wish:true ();
-      time_case ~name:"fig14"
-        ~config:(Wish_sim.Config.with_rob Wish_sim.Config.default 128)
-        ~iters ~wish:true ();
-      time_case ~name:"fig1" ~iters ~wish:false ();
-    ]
+    List.map
+      (fun (name, config, wish) -> time_case ~name ~iters ~config ~wish ())
+      Hotkernels.cases
   in
   Printf.printf "gc: %s; peak RSS %d KiB\n%!" (Gc_stats.summary_line ())
     (Gc_stats.peak_rss_kb ());

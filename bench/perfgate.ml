@@ -15,9 +15,10 @@
 
    from the repository root (the baselines are read from the cwd).
    Usage: perfgate.exe [--gc-tune] [--tol X] [--sim-iters N] [--emu-iters N]
-   (defaults: tol 1.6, 8 sim runs, 3 emu runs per case; timed work is a
-   small representative subset, not the full matrices — simloop.exe and
-   emuloop.exe remain the owners of the baseline files). *)
+   [--hot-iters N] (defaults: tol 1.6, 8 sim runs, 3 emu runs, 30 hot
+   runs per case; timed work is a small representative subset, not the
+   full matrices — simloop.exe, emuloop.exe, and hotloop.exe remain the
+   owners of the baseline files). *)
 
 module J = Wish_util.Perf_json
 module Gc_stats = Wish_util.Gc_stats
@@ -137,19 +138,49 @@ let gate_emu ~tol ~iters json =
         gate ~tol ~label:("emu:" ^ case) ~baseline ~fresh)
     emu_cases
 
+(* ----------------------------------------------------------------- *)
+(* Hot-loop gate: fresh ns_per_run vs BENCH_hotloop.json              *)
+(* ----------------------------------------------------------------- *)
+
+(* The same tiny-hammock cases hotloop.exe records (the shared kernel in
+   Hotkernels keeps both harnesses honest). The baseline's reduction is
+   a mean over hundreds of runs; best-of here biases the fresh reading
+   low, which the tolerance band absorbs. *)
+let gate_hotloop ~tol ~iters json =
+  Core.use_compiled := true;
+  List.iter
+    (fun (case, config, wish) ->
+      match baseline_of json ~file:"BENCH_hotloop.json" ~case ~field:"ns_per_run" with
+      | Error msg ->
+        incr failures;
+        Printf.printf "%-28s %s\n%!" ("hot:" ^ case) msg
+      | Ok baseline ->
+        let program = Hotkernels.tiny_hammock ~wish in
+        let trace, _final = Wish_emu.Trace.generate program in
+        let fresh =
+          best_ns ~iters (fun () -> ignore (Runner.simulate ~config ~trace program))
+        in
+        gate ~tol ~label:("hot:" ^ case) ~baseline ~fresh)
+    Hotkernels.cases
+
 let () =
-  let rec parse (tol, sim_iters, emu_iters, tune) = function
-    | [] -> (tol, sim_iters, emu_iters, tune)
-    | "--tol" :: v :: rest -> parse (float_of_string v, sim_iters, emu_iters, tune) rest
-    | "--sim-iters" :: v :: rest -> parse (tol, int_of_string v, emu_iters, tune) rest
-    | "--emu-iters" :: v :: rest -> parse (tol, sim_iters, int_of_string v, tune) rest
-    | "--gc-tune" :: rest -> parse (tol, sim_iters, emu_iters, true) rest
+  let rec parse (tol, sim_iters, emu_iters, hot_iters, tune) = function
+    | [] -> (tol, sim_iters, emu_iters, hot_iters, tune)
+    | "--tol" :: v :: rest ->
+      parse (float_of_string v, sim_iters, emu_iters, hot_iters, tune) rest
+    | "--sim-iters" :: v :: rest ->
+      parse (tol, int_of_string v, emu_iters, hot_iters, tune) rest
+    | "--emu-iters" :: v :: rest ->
+      parse (tol, sim_iters, int_of_string v, hot_iters, tune) rest
+    | "--hot-iters" :: v :: rest ->
+      parse (tol, sim_iters, emu_iters, int_of_string v, tune) rest
+    | "--gc-tune" :: rest -> parse (tol, sim_iters, emu_iters, hot_iters, true) rest
     | a :: _ ->
       Printf.eprintf "perfgate: unknown argument %s\n" a;
       exit 2
   in
-  let tol, sim_iters, emu_iters, gc_tune =
-    parse (1.6, 8, 3, false) (List.tl (Array.to_list Sys.argv))
+  let tol, sim_iters, emu_iters, hot_iters, gc_tune =
+    parse (1.6, 8, 3, 30, false) (List.tl (Array.to_list Sys.argv))
   in
   if gc_tune then Gc_stats.tune ();
   (* Missing and malformed baselines are different situations: the first
@@ -173,6 +204,7 @@ let () =
   in
   with_baseline "BENCH_sim.json" (gate_sim ~tol ~iters:sim_iters);
   with_baseline "BENCH_emu.json" (gate_emu ~tol ~iters:emu_iters);
+  with_baseline "BENCH_hotloop.json" (gate_hotloop ~tol ~iters:hot_iters);
   if !failures > 0 then begin
     Printf.printf "perfgate: %d failure(s)\n%!" !failures;
     exit 1

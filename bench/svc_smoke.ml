@@ -1,0 +1,163 @@
+(* Service smoke: start a wishd daemon in a temp dir with the
+   [svc.worker] faultpoint armed (two worker kills), point two
+   concurrent clients at the same fig10 gzip-only matrix, and require:
+   byte-identical tables from both clients AND from a local in-process
+   render; a single-flight dedup counter >= 1 (the second client
+   coalesced onto the first's in-flight jobs); worker respawns >= 1 (the
+   injected deaths were survived, not avoided); and a clean SIGINT
+   shutdown (daemon exits 0, socket file unlinked). Wired into
+   [dune runtest] via the @svc-smoke alias. *)
+
+module FP = Wish_util.Faultpoint
+module Table = Wish_util.Table
+module J = Wish_util.Perf_json
+module Lab = Wish_experiments.Lab
+module Figures = Wish_experiments.Figures
+module Service = Wish_experiments.Service
+
+let root =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "wishsvc_smoke_%d" (Unix.getpid ()))
+
+let rec rm_rf d =
+  if Sys.file_exists d then
+    if Sys.is_directory d then begin
+      Array.iter (fun f -> rm_rf (Filename.concat d f)) (Sys.readdir d);
+      try Sys.rmdir d with Sys_error _ -> ()
+    end
+    else try Sys.remove d with Sys_error _ -> ()
+
+let fail fmt = Printf.ksprintf (fun s -> Printf.eprintf "FAIL: %s\n%!" s; exit 1) fmt
+
+let socket = Filename.concat root "wishd.sock"
+let cache_dir = Filename.concat root "cache"
+let spec =
+  {
+    Service.sp_artifacts = [ "fig10" ];
+    sp_scale = 1;
+    sp_benchmarks = [ "gzip" ];
+    sp_sample = None;
+  }
+
+(* Child: the daemon, with two worker kills scheduled. [serve] arms no
+   faults itself; the injection decision runs in the daemon process
+   (Procpool.try_submit), so the armed counter is not consumed by the
+   workers' forked copies. *)
+let daemon_main () =
+  ignore (Unix.alarm 300);
+  FP.arm "svc.worker" ~times:2;
+  Service.serve ~workers:2 ~socket ~cache_dir ();
+  exit 0
+
+(* Child: one client; writes the streamed table text to [out]. *)
+let client_main out =
+  ignore (Unix.alarm 300);
+  match Service.connect ~socket with
+  | Error e ->
+    Printf.eprintf "client: connect: %s\n%!" e;
+    exit 3
+  | Ok c -> (
+    let buf = Buffer.create 1024 in
+    let r =
+      Service.run_remote c ~spec
+        ~on_table:(fun ~artifact:_ ~text ~csv:_ -> Buffer.add_string buf text)
+        ()
+    in
+    Service.close c;
+    match r with
+    | Ok _ ->
+      let oc = open_out out in
+      output_string oc (Buffer.contents buf);
+      close_out oc;
+      exit 0
+    | Error e ->
+      Printf.eprintf "client: run: %s\n%!" e;
+      exit 4)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* Ready when a real hello round-trip succeeds — a bare socket-file poll
+   can race the daemon between bind and listen, or see a slow start. *)
+let wait_ready daemon_pid =
+  let ready = ref false and tries = ref 0 in
+  while (not !ready) && !tries < 1200 do
+    incr tries;
+    (match Unix.waitpid [ Unix.WNOHANG ] daemon_pid with
+    | 0, _ -> ()
+    | _ -> fail "daemon died during startup");
+    (match Service.connect ~socket with
+    | Ok c ->
+      Service.close c;
+      ready := true
+    | Error _ -> ignore (Unix.select [] [] [] 0.05))
+  done;
+  if not !ready then fail "daemon never came up on %s" socket
+
+let () =
+  ignore (Unix.alarm 300);
+  rm_rf root;
+  Unix.mkdir root 0o755;
+  let daemon_pid =
+    match Unix.fork () with 0 -> daemon_main () | pid -> pid
+  in
+  (* Never leak the daemon (and its workers): whatever happens, it dies
+     with this process. A clean SIGINT exit below makes this a no-op. *)
+  Fun.protect ~finally:(fun () ->
+      (try Unix.kill daemon_pid Sys.sigkill with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [] daemon_pid) with Unix.Unix_error _ -> ());
+      rm_rf root)
+  @@ fun () ->
+  wait_ready daemon_pid;
+  let out1 = Filename.concat root "c1.out"
+  and out2 = Filename.concat root "c2.out" in
+  let c1 = match Unix.fork () with 0 -> client_main out1 | pid -> pid in
+  let c2 = match Unix.fork () with 0 -> client_main out2 | pid -> pid in
+  let reap name pid =
+    match Unix.waitpid [] pid with
+    | _, Unix.WEXITED 0 -> ()
+    | _, Unix.WEXITED n -> fail "%s exited %d" name n
+    | _, Unix.WSIGNALED n -> fail "%s killed by signal %d" name n
+    | _, Unix.WSTOPPED _ -> fail "%s stopped" name
+  in
+  reap "client 1" c1;
+  reap "client 2" c2;
+  let t1 = read_file out1 and t2 = read_file out2 in
+  if not (String.equal t1 t2) then
+    fail "clients disagree:\n%s\n--- vs ---\n%s" t1 t2;
+  (* The local reference: same matrix, same serial rendering path, its
+     own process and cache — what `experiments fig10 -b gzip` prints. *)
+  let lab = Lab.create ~names:[ "gzip" ] () in
+  let expected =
+    Fun.protect ~finally:(fun () -> Lab.shutdown lab) @@ fun () ->
+    Table.render (Figures.fig10 lab)
+  in
+  if not (String.equal t1 expected) then
+    fail "daemon table differs from local render:\n%s\n--- vs ---\n%s" t1 expected;
+  (* Counters: the second client must have coalesced (single-flight), and
+     the injected worker deaths must have forced respawns. *)
+  (let c = match Service.connect ~socket with Ok c -> c | Error e -> fail "stats connect: %s" e in
+   let stats = match Service.stats_remote c with Ok s -> s | Error e -> fail "stats: %s" e in
+   Service.close c;
+   let geti k =
+     match J.member k stats with Some (J.Int i) -> i | _ -> fail "stats lacks %s" k
+   in
+   let dedup = geti "dedup_hits" and respawns = geti "respawns" in
+   Printf.printf
+     "svc smoke: %d job(s) requested, %d computed, %d dedup, %d cache, %d respawn(s)\n%!"
+     (geti "jobs_requested") (geti "computed") dedup (geti "cache_hits") respawns;
+   if dedup < 1 then fail "expected dedup_hits >= 1, saw %d" dedup;
+   if respawns < 1 then fail "expected respawns >= 1 under svc.worker faults, saw %d" respawns);
+  (* Clean SIGINT shutdown: exit 0, socket unlinked. *)
+  Unix.kill daemon_pid Sys.sigint;
+  (match Unix.waitpid [] daemon_pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, Unix.WEXITED n -> fail "daemon exited %d on SIGINT" n
+  | _, Unix.WSIGNALED n -> fail "daemon killed by signal %d" n
+  | _, Unix.WSTOPPED _ -> fail "daemon stopped");
+  if Sys.file_exists socket then fail "daemon left its socket file behind";
+  print_endline "svc smoke OK: byte-identical tables, single-flight dedup, clean shutdown"

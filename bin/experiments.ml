@@ -6,21 +6,88 @@
       experiments --scale 2 -v       # bigger runs, with progress logging
       experiments --timeout 120 --retries 3 --keep-going
       experiments --resume           # skip jobs journaled by an interrupted run
+      experiments --connect /tmp/wishd.sock fig10   # run through a wishd daemon
       experiments cache verify       # integrity-check _wishcache/
-      experiments cache prune        # evict stale entries, quarantine corrupt ones *)
+      experiments cache prune        # evict stale entries, quarantine corrupt ones
+      experiments cache stats        # occupancy: entries, bytes, versions, quarantine *)
 
 open Cmdliner
 module Lab = Wish_experiments.Lab
 module Figures = Wish_experiments.Figures
 module Ablations = Wish_experiments.Ablations
 module Cache = Wish_experiments.Cache
+module Service = Wish_experiments.Service
+
+(* Run the selection through a wishd daemon, printing tables exactly as
+   the local path would (the daemon's text is byte-identical). Returns
+   the artifacts the daemon did not deliver — connection refused, torn
+   stream, or a failed job — for the caller to re-run locally, in order.
+   The daemon streams tables in request order, so whatever it delivered
+   is a prefix of the selection and the combined output still matches an
+   all-local run. *)
+let remote_run ~socket ~selected ~scale ~benchmarks ~sample ~csv_dir ~verbose =
+  let spec =
+    {
+      Service.sp_artifacts = List.map fst selected;
+      sp_scale = scale;
+      sp_benchmarks = benchmarks;
+      sp_sample = sample;
+    }
+  in
+  match Service.connect ~socket with
+  | Error e ->
+    Fmt.epr "[svc] %s: %s; running locally@." socket e;
+    selected
+  | Ok client ->
+    let printed = Hashtbl.create 8 in
+    let on_row row =
+      if verbose then
+        Fmt.epr "[svc] %s %d/%d %s (%s)@." row.Service.row_artifact
+          row.Service.row_done row.Service.row_total row.Service.row_what
+          row.Service.row_via
+    in
+    let on_table ~artifact ~text ~csv =
+      Hashtbl.replace printed artifact ();
+      print_string text;
+      print_newline ();
+      match csv_dir with
+      | None -> ()
+      | Some dir ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        let path = Filename.concat dir (artifact ^ ".csv") in
+        let oc = open_out path in
+        output_string oc csv;
+        close_out oc;
+        Fmt.epr "wrote %s@." path
+    in
+    let result = Service.run_remote client ~spec ~on_row ~on_table () in
+    Service.close client;
+    let remaining = List.filter (fun (n, _) -> not (Hashtbl.mem printed n)) selected in
+    (match result with
+    | Ok st ->
+      if verbose then
+        Fmt.epr
+          "[svc] daemon served %d job row(s): %d computed, %d deduplicated, %d cached@."
+          (st.Service.rs_computed + st.Service.rs_dedup + st.Service.rs_cache)
+          st.Service.rs_computed st.Service.rs_dedup st.Service.rs_cache
+    | Error e ->
+      Fmt.epr "[svc] daemon failed (%s); running %d remaining artifact(s) locally@." e
+        (List.length remaining));
+    remaining
 
 let run names scale verbose benchmarks csv_dir jobs no_cache gc_tune emu_interp timeout retries
-    keep_going resume sample sample_parallel =
+    keep_going resume sample sample_parallel connect =
   Wish_util.Faultpoint.arm_from_env ();
   if gc_tune then Wish_util.Gc_stats.tune ();
   Wish_emu.Trace.use_interpreter := emu_interp;
-  let sample =
+  let jobs =
+    match Wish_util.Pool.jobs_of_string jobs with
+    | Ok n -> n
+    | Error e ->
+      Fmt.epr "--jobs %s: %s@." jobs e;
+      exit 2
+  in
+  let sampling =
     match sample with
     | None -> None
     | Some "auto" -> Some Lab.Sample_auto
@@ -49,11 +116,22 @@ let run names scale verbose benchmarks csv_dir jobs no_cache gc_tune emu_interp 
             exit 2)
         names
   in
+  (* Remote-first when --connect is given: whatever the daemon delivered
+     is done; anything left (daemon down, torn stream, failed job) falls
+     through to the local machinery below. *)
+  let selected =
+    match connect with
+    | None -> selected
+    | Some socket ->
+      remote_run ~socket ~selected ~scale ~benchmarks ~sample ~csv_dir ~verbose
+  in
+  if selected = [] then ()
+  else begin
   let policy = { Lab.default_policy with timeout; retries; keep_going } in
   let cache = if no_cache then None else Some (Cache.create ()) in
   let lab =
     Lab.create ~scale ?names:(if benchmarks = [] then None else Some benchmarks) ~jobs ?cache
-      ~resume ?sample ~sample_parallel ()
+      ~resume ?sample:sampling ~sample_parallel ()
   in
   if verbose then Lab.set_logger lab (fun s -> Fmt.epr "[lab] %s@." s);
   if resume then
@@ -122,6 +200,7 @@ let run names scale verbose benchmarks csv_dir jobs no_cache gc_tune emu_interp 
           1)
   in
   if code <> 0 then exit code
+  end
 
 (* ----------------------------------------------------------------- *)
 (* cache verify / cache prune                                         *)
@@ -160,6 +239,26 @@ let cache_prune dir =
   Fmt.pr "%s: kept %d, evicted %d stale, quarantined %d corrupt (see %s)@." (Cache.dir cache)
     r.kept r.evicted_stale r.quarantined (Cache.quarantine_dir cache)
 
+let cache_stats dir =
+  let cache = Cache.create ?dir () in
+  let s = Cache.stats cache in
+  Fmt.pr "%s: %d entr%s, %d byte%s@." (Cache.dir cache) s.Cache.st_entries
+    (if s.Cache.st_entries = 1 then "y" else "ies")
+    s.Cache.st_bytes
+    (if s.Cache.st_bytes = 1 then "" else "s");
+  List.iter
+    (fun (v, n, b) ->
+      Fmt.pr "  format v%d%s: %d entr%s, %d bytes@." v
+        (if v = Cache.format_version then " (current)" else "")
+        n
+        (if n = 1 then "y" else "ies")
+        b)
+    s.Cache.st_by_version;
+  if s.Cache.st_unrecognized > 0 then
+    Fmt.pr "  unrecognized headers: %d@." s.Cache.st_unrecognized;
+  Fmt.pr "  quarantined: %d@." s.Cache.st_quarantined;
+  Fmt.pr "  journaled job keys: %d@." s.Cache.st_journal_keys
+
 let cache_dir_arg =
   Arg.(value & opt (some string) None
        & info [ "dir" ] ~doc:"Cache directory (default: \\$WISH_CACHE_DIR or _wishcache)")
@@ -180,8 +279,15 @@ let cache_cmd =
          ~doc:"Evict stale-format entries and move corrupt ones to the quarantine directory")
       Term.(const cache_prune $ cache_dir_arg)
   in
+  let stats =
+    Cmd.v
+      (Cmd.info "stats"
+         ~doc:"Occupancy snapshot: entry count, total bytes, per-format-version breakdown, \
+               quarantine count, and journaled job keys. Reads headers only; modifies nothing.")
+      Term.(const cache_stats $ cache_dir_arg)
+  in
   Cmd.group (Cmd.info "cache" ~doc:"Inspect and maintain the persistent artifact cache")
-    [ verify; prune ]
+    [ verify; prune; stats ]
 
 (* ----------------------------------------------------------------- *)
 (* CLI                                                                *)
@@ -199,8 +305,12 @@ let run_term =
          & info [ "csv" ] ~doc:"Also write each artifact as CSV into this directory")
   in
   let jobs =
-    Arg.(value & opt int (Wish_util.Pool.default_size ())
-         & info [ "j"; "jobs" ] ~doc:"Worker domains for compile/trace/simulate fan-out")
+    Arg.(value & opt string "auto"
+         & info [ "j"; "jobs" ]
+             ~doc:"Worker domains for compile/trace/simulate fan-out: an integer, or \
+                   $(b,auto) (the default) for the machine's recommended domain count \
+                   minus one — one hardware thread stays with the coordinating domain — \
+                   never below 1")
   in
   let no_cache =
     Arg.(value & flag & info [ "no-cache" ] ~doc:"Ignore the persistent artifact cache")
@@ -246,9 +356,17 @@ let run_term =
              ~doc:"With --sample: fan each sampled run's measurement windows across the worker \
                    domains (serial runs only; batched jobs already use the pool)")
   in
+  let connect =
+    Arg.(value & opt (some string) None
+         & info [ "connect" ] ~docv:"PATH"
+             ~doc:"Run through the wishd daemon listening on this Unix-domain socket. \
+                   Identical jobs from concurrent clients are computed once (single-flight); \
+                   tables stream back byte-identical to a local run. If the daemon is \
+                   unreachable or fails mid-run, the remaining artifacts run locally.")
+  in
   Term.(
     const run $ names $ scale $ verbose $ benchmarks $ csv_dir $ jobs $ no_cache $ gc_tune
-    $ emu_interp $ timeout $ retries $ keep_going $ resume $ sample $ sample_parallel)
+    $ emu_interp $ timeout $ retries $ keep_going $ resume $ sample $ sample_parallel $ connect)
 
 let cmd =
   Cmd.v (Cmd.info "experiments" ~doc:"Regenerate the wish-branches paper's tables and figures")

@@ -1,0 +1,87 @@
+(** wishd — the experiment service daemon.
+
+    Binds a Unix-domain socket, forks a supervised pool of worker
+    processes sharing one persistent cache, and serves experiment
+    requests from concurrent [experiments --connect] clients with
+    single-flight deduplication and streamed results. See
+    EXPERIMENTS.md, "Distributed runs". *)
+
+open Cmdliner
+module Service = Wish_experiments.Service
+
+let default_socket () = Filename.concat (Filename.get_temp_dir_name ()) "wishd.sock"
+
+let run socket dir workers queue verbose =
+  Wish_util.Faultpoint.arm_from_env ();
+  let log =
+    if verbose then fun s -> Fmt.epr "[%8.3f] %s@." (Unix.gettimeofday ()) s
+    else fun _ -> ()
+  in
+  match Wish_util.Pool.jobs_of_string workers with
+  | Error e ->
+    Fmt.epr "--workers %s: %s@." workers e;
+    exit 2
+  | Ok workers ->
+    let socket = match socket with Some s -> s | None -> default_socket () in
+    let dir =
+      match dir with Some d -> d | None -> Wish_experiments.Cache.default_dir ()
+    in
+    (try Service.serve ~workers ?queue_bound:queue ~socket ~cache_dir:dir ~log ()
+     with Unix.Unix_error (e, fn, arg) ->
+       Fmt.epr "wishd: %s %s: %s@." fn arg (Unix.error_message e);
+       exit 1);
+    exit 0
+
+let socket =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "s"; "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket to listen on (default: wishd.sock in the \
+              system temp directory). A stale socket file is replaced.")
+
+let dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "d"; "dir" ] ~docv:"DIR"
+        ~doc:"Cache directory shared by the daemon and its workers (default: \
+              _wishcache, or \\$WISH_CACHE_DIR).")
+
+let workers =
+  Arg.(
+    value & opt string "auto"
+    & info [ "w"; "workers" ] ~docv:"N"
+        ~doc:"Worker processes to fork: an integer, or $(b,auto) for the \
+              machine's recommended domain count minus one (one hardware \
+              thread stays with the daemon's event loop), never below 1.")
+
+let queue =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "queue" ] ~docv:"N"
+        ~doc:"Ready-queue bound for round-robin fairness across requests \
+              (default: 2x the worker count).")
+
+let verbose =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log daemon events to stderr.")
+
+let cmd =
+  let doc = "experiment service daemon: shared cache, forked workers, single-flight dedup" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Start the daemon, then point clients at it with $(b,experiments \
+         --connect PATH). Identical jobs requested concurrently are computed \
+         once; every client gets byte-identical tables. SIGINT or a client \
+         $(b,shutdown) request stops the daemon cleanly: the socket file is \
+         unlinked and every worker reaped.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "wishd" ~version:"%%VERSION%%" ~doc ~man)
+    Term.(const run $ socket $ dir $ workers $ queue $ verbose)
+
+let () = exit (Cmd.eval cmd)

@@ -72,6 +72,13 @@ let replay dir =
 let run root count oracle_ids deep jobs corpus_dir no_corpus shrink_tries max_failures
     replay_dir_opt verbose =
   Wish_util.Faultpoint.arm_from_env ();
+  let jobs =
+    match Wish_util.Pool.jobs_of_string jobs with
+    | Ok n -> n
+    | Error e ->
+      Fmt.epr "--jobs %s: %s@." jobs e;
+      exit 2
+  in
   match replay_dir_opt with
   | Some dir -> exit (replay dir)
   | None ->
@@ -122,8 +129,11 @@ let cmd =
                 companion; same cases and verdicts as the serial run)")
   in
   let jobs =
-    Arg.(value & opt int (Wish_util.Pool.default_size ())
-         & info [ "j"; "jobs" ] ~doc:"Worker domains for --deep")
+    Arg.(value & opt string "auto"
+         & info [ "j"; "jobs" ]
+             ~doc:"Worker domains for --deep: an integer, or $(b,auto) (the default) for \
+                   the recommended domain count minus one (one hardware thread stays with \
+                   the coordinating domain), never below 1")
   in
   let corpus =
     Arg.(value & opt string "test/fuzz_corpus"

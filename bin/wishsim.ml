@@ -11,6 +11,13 @@ let run bench_name kind_name input scale asm_file rob stages mech_select wish_hw
     perfect_conf no_depend no_fetch streaming sample sample_parallel jobs gc_tune emu_interp
     sim_interp show_stats show_code =
   Wish_util.Faultpoint.arm_from_env ();
+  let jobs =
+    match Wish_util.Pool.jobs_of_string jobs with
+    | Ok n -> n
+    | Error e ->
+      Fmt.epr "--jobs %s: %s@." jobs e;
+      exit 2
+  in
   if gc_tune then Wish_util.Gc_stats.tune ();
   Wish_emu.Trace.use_interpreter := emu_interp;
   Wish_sim.Core.use_compiled := not sim_interp;
@@ -164,8 +171,11 @@ let cmd =
                    (requires --sample; ignored with --stream)")
   in
   let jobs =
-    Arg.(value & opt int (Wish_util.Pool.default_size ())
-         & info [ "j"; "jobs" ] ~doc:"Worker domains for --sample-parallel")
+    Arg.(value & opt string "auto"
+         & info [ "j"; "jobs" ]
+             ~doc:"Worker domains for --sample-parallel: an integer, or $(b,auto) (the \
+                   default) for the recommended domain count minus one (one hardware \
+                   thread stays with the coordinating domain), never below 1")
   in
   let gc_tune =
     Arg.(value & flag

@@ -299,6 +299,68 @@ let verify t =
     entries;
   { v_entries = entries; v_ok = !ok; v_stale = !stale; v_quarantined = !quarantined }
 
+type stats = {
+  st_entries : int;
+  st_bytes : int;
+  st_by_version : (int * int * int) list;
+  st_unrecognized : int;
+  st_quarantined : int;
+  st_journal_keys : int;
+}
+
+(* Observability twin of [scan], cheap enough for interactive use: only
+   the fixed-width header of each entry is read (never the payload), so
+   the cost is one open + small read + stat per entry. *)
+let stats t =
+  let by_version : (int, int * int) Hashtbl.t = Hashtbl.create 4 in
+  let entries = ref 0 and bytes = ref 0 and unrecognized = ref 0 in
+  if Sys.file_exists t.root && Sys.is_directory t.root then
+    Array.iter
+      (fun kind ->
+        let kdir = Filename.concat t.root kind in
+        if kind <> "quarantine" && Sys.is_directory kdir then
+          Array.iter
+            (fun name ->
+              if Filename.check_suffix name ".bin" then begin
+                let file = Filename.concat kdir name in
+                match open_in_bin file with
+                | exception Sys_error _ -> incr unrecognized
+                | ic ->
+                  let len = in_channel_length ic in
+                  let version =
+                    if len < header_len then None
+                    else
+                      match really_input_string ic header_len with
+                      | exception End_of_file -> None
+                      | h -> Scanf.sscanf_opt h "WISHCACHE %08d\n" Fun.id
+                  in
+                  close_in_noerr ic;
+                  incr entries;
+                  bytes := !bytes + len;
+                  (match version with
+                  | None -> incr unrecognized
+                  | Some v ->
+                    let n, b = Option.value (Hashtbl.find_opt by_version v) ~default:(0, 0) in
+                    Hashtbl.replace by_version v (n + 1, b + len))
+              end)
+            (Sys.readdir kdir))
+      (Sys.readdir t.root);
+  let quarantined =
+    match Sys.readdir (quarantine_dir t) with
+    | files -> Array.length files
+    | exception Sys_error _ -> 0
+  in
+  {
+    st_entries = !entries;
+    st_bytes = !bytes;
+    st_by_version =
+      Hashtbl.fold (fun v (n, b) acc -> (v, n, b) :: acc) by_version []
+      |> List.sort (fun (a, _, _) (b, _, _) -> compare b a);
+    st_unrecognized = !unrecognized;
+    st_quarantined = quarantined;
+    st_journal_keys = Hashtbl.length (journal_load t);
+  }
+
 let prune t =
   List.fold_left
     (fun acc (rel, status) ->

@@ -119,3 +119,18 @@ type prune_report = { kept : int; evicted_stale : int; quarantined : int }
 (** [prune t] — {!scan}, then delete stale-version entries and move
     corrupt ones to the quarantine. *)
 val prune : t -> prune_report
+
+(** Occupancy snapshot for [experiments cache stats] — what the service
+    daemon is serving from. Reads only headers and file sizes; nothing
+    on disk is modified, verified, or deserialized. *)
+type stats = {
+  st_entries : int;  (** entry files under every kind directory *)
+  st_bytes : int;  (** their total size on disk *)
+  st_by_version : (int * int * int) list;
+      (** (format version, entries, bytes), newest version first *)
+  st_unrecognized : int;  (** entries whose header did not parse *)
+  st_quarantined : int;  (** files sitting in [quarantine/] *)
+  st_journal_keys : int;  (** completed-job keys loadable from the journal *)
+}
+
+val stats : t -> stats

@@ -338,6 +338,13 @@ let uniq key xs =
 
 let memo_key j = (j.job_bench, Policy.kind_name j.job_kind, j.job_input, j.job_config)
 
+(* The persistent-cache identity of a job's summary — also the key the
+   service daemon's single-flight table coalesces identical in-flight
+   jobs on, so it must stay in lockstep with [summary_cache_key]. *)
+let summary_key_of_job t j =
+  summary_cache_key t ~bench:j.job_bench ~kind:(Policy.kind_name j.job_kind) ~input:j.job_input
+    ~config:j.job_config
+
 (* Fan [f] over [xs] on the pool under [policy]: each item is attempted
    up to [1 + retries] times, failed rounds separated by exponential
    backoff with deterministic jitter; a completion slower than [timeout]

@@ -180,6 +180,12 @@ val baseline_of : job -> job
 (** [with_baselines js] — each job followed by its {!baseline_of}. *)
 val with_baselines : job list -> job list
 
+(** [summary_key_of_job t j] — the persistent-cache key {!run} stores
+    [j]'s summary under (bench, kind, input, scale, config digest, and
+    the sampling suffix when the lab samples). This is the identity the
+    service daemon deduplicates identical in-flight jobs on. *)
+val summary_key_of_job : t -> job -> string
+
 (** [run_batch_results ?policy t jobs] — the supervised parallel twin of
     {!run}: resolves every job (memo table, then disk cache, then
     compile/trace/simulate fanned over the worker pool, each stage under

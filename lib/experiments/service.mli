@@ -1,0 +1,122 @@
+(** The experiment service: a lab daemon ([bin/wishd.exe]) serving many
+    concurrent clients from one warm artifact cache, plus the client
+    functions [experiments --connect] speaks through.
+
+    {2 Architecture}
+
+    The daemon listens on a Unix-domain socket and speaks length-prefixed
+    JSON messages ({!Wish_util.Framing}, protocol version
+    {!protocol_version}). An experiment request names artifacts (the same
+    ids [experiments] takes: [fig10], [tab5], [abl-conf-threshold], …);
+    the daemon expands each into its simulation grid
+    ({!Figures.jobs_for} × baselines) and shards the grid across a
+    supervised pool of forked {e worker processes}
+    ({!Wish_util.Procpool}) that compute summaries through serial
+    {!Lab}s sharing one persistent {!Cache}. Per-job progress events
+    stream back as jobs complete; each artifact's table is rendered (in
+    request order) the moment its last job lands and streamed as text +
+    CSV. Because workers persist every summary before acknowledging,
+    rendering is pure cache reads and daemon-served tables are
+    byte-identical to a local [experiments] run.
+
+    {2 Single-flight deduplication}
+
+    Jobs are identified by {!Lab.summary_key_of_job}. A job requested
+    while an identical job is already in flight is not re-queued: the
+    request {e subscribes} to the leader's completion, so N clients
+    asking for the same matrix cost ~1× compute plus cache reads.
+    Completed keys are remembered for the daemon's lifetime and answer
+    instantly, as do summaries already on disk.
+
+    {2 Fairness and fault tolerance}
+
+    Fresh jobs enter a bounded ready queue refilled round-robin across
+    active requests, so a giant request cannot starve a small one. A
+    worker process that dies mid-job (chaos site [svc.worker]) has its
+    job requeued and a replacement forked; a job that fails in the
+    worker is retried a bounded number of times before the subscribed
+    requests receive a structured error (their clients fall back to
+    local execution). A connection that tears (chaos site
+    [svc.conn.torn]) is dropped; its in-flight jobs complete anyway and
+    warm the cache for everyone else. *)
+
+(** Bumped whenever the message schema changes incompatibly; the hello
+    exchange rejects mismatched peers. *)
+val protocol_version : int
+
+(** {1 Requests} *)
+
+(** What a client asks for — the daemon-side mirror of the
+    [experiments ARTIFACT... --scale N -b BENCH --sample S] command
+    line. *)
+type spec = {
+  sp_artifacts : string list;  (** artifact ids, in print order *)
+  sp_scale : int;
+  sp_benchmarks : string list;  (** restriction; [[]] means all *)
+  sp_sample : string option;  (** ["auto"], a [W:D] spec, or exact *)
+}
+
+(** {1 Daemon} *)
+
+(** [serve ~socket ~cache_dir ()] — bind [socket] (replacing any stale
+    file), fork [workers] worker processes (default
+    {!Wish_util.Pool.auto_size}), and run the event loop until SIGINT,
+    SIGTERM, or a [shutdown] request. [queue_bound] caps the ready
+    queue (default [2 × workers]). On return the socket file is
+    unlinked and every worker reaped. Must be called before any domain
+    is spawned in this process (forking with live domains is
+    unsupported); the daemon itself never spawns domains. *)
+val serve :
+  ?workers:int ->
+  ?queue_bound:int ->
+  socket:string ->
+  cache_dir:string ->
+  ?log:(string -> unit) ->
+  unit ->
+  unit
+
+(** {1 Client} *)
+
+type client
+
+(** [connect ~socket] — dial and complete the hello/version exchange. *)
+val connect : socket:string -> (client, string) result
+
+val close : client -> unit
+
+(** One per-job progress event. [row_via] says how the daemon satisfied
+    this row: ["computed"] (this request led the job), ["dedup"]
+    (coalesced onto another request's in-flight job), or ["cache"]
+    (already complete when requested). *)
+type row = {
+  row_artifact : string;
+  row_what : string;  (** e.g. ["gzip/wish-jump-join-loop input A"] *)
+  row_via : string;
+  row_done : int;  (** rows complete for this artifact, this one included *)
+  row_total : int;
+}
+
+(** Per-request counters reported with [done]. *)
+type run_stats = { rs_dedup : int; rs_cache : int; rs_computed : int }
+
+(** [run_remote c ~spec ~on_table ()] — submit [spec] and stream:
+    [on_row] fires as jobs complete, [on_table] once per artifact in
+    [sp_artifacts] order with the rendered table text and CSV. Returns
+    after the daemon's [done] (or with [Error] on a daemon-reported
+    failure or a torn connection — the caller decides how much to redo
+    locally from which [on_table]s it saw). *)
+val run_remote :
+  client ->
+  spec:spec ->
+  ?on_row:(row -> unit) ->
+  on_table:(artifact:string -> text:string -> csv:string -> unit) ->
+  unit ->
+  (run_stats, string) result
+
+(** Daemon-lifetime counters as raw JSON (the [stats] reply:
+    [jobs_requested], [dedup_hits], [cache_hits], [computed],
+    [requests], [workers], [respawns], …). *)
+val stats_remote : client -> (Wish_util.Perf_json.t, string) result
+
+(** Ask the daemon to exit its serve loop after replying. *)
+val shutdown_remote : client -> (unit, string) result

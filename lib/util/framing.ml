@@ -1,0 +1,95 @@
+(** Length-prefixed framing. See the interface for the wire format and
+    totality contract. *)
+
+let fp_conn_torn =
+  Faultpoint.register "svc.conn.torn"
+    ~doc:"a service connection tears mid-frame: the sender writes a prefix of the frame and \
+          raises; the reader surfaces Torn/Malformed and falls back"
+
+let max_frame = 16 * 1024 * 1024
+
+type error =
+  | Closed
+  | Torn of string
+  | Oversized of int
+  | Malformed of string
+
+let error_to_string = function
+  | Closed -> "connection closed"
+  | Torn what -> "torn frame: " ^ what
+  | Oversized n -> Printf.sprintf "oversized frame (%d bytes, max %d)" n max_frame
+  | Malformed msg -> "malformed message: " ^ msg
+
+let pp_error ppf e = Format.pp_print_string ppf (error_to_string e)
+
+let rec retry_eintr f = try f () with Unix.Unix_error (Unix.EINTR, _, _) -> retry_eintr f
+
+(* Full write: [Unix.write] may report a short count on a socket with a
+   full buffer; loop until every byte is on the wire. *)
+let write_all fd b off len =
+  let off = ref off and left = ref len in
+  while !left > 0 do
+    let n = retry_eintr (fun () -> Unix.write fd b !off !left) in
+    off := !off + n;
+    left := !left - n
+  done
+
+(* Full read with a distinction the framing layer cares about: EOF
+   before the first byte is an orderly close, EOF after it is a tear. *)
+let read_all fd b off len =
+  let got = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !got < len do
+    let n = retry_eintr (fun () -> Unix.read fd b (off + !got) (len - !got)) in
+    if n = 0 then eof := true else got := !got + n
+  done;
+  !got
+
+let frame_bytes payload =
+  let len = String.length payload in
+  let b = Bytes.create (4 + len) in
+  Bytes.set_int32_be b 0 (Int32.of_int len);
+  Bytes.blit_string payload 0 b 4 len;
+  b
+
+let write_frame fd payload =
+  if String.length payload > max_frame then
+    invalid_arg "Framing.write_frame: payload exceeds max_frame";
+  let b = frame_bytes payload in
+  write_all fd b 0 (Bytes.length b)
+
+let read_frame fd =
+  let hdr = Bytes.create 4 in
+  match read_all fd hdr 0 4 with
+  | 0 -> Error Closed
+  | n when n < 4 -> Error (Torn (Printf.sprintf "%d of 4 length bytes" n))
+  | _ -> (
+    let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+    if len < 0 || len > max_frame then Error (Oversized len)
+    else
+      let payload = Bytes.create len in
+      match read_all fd payload 0 len with
+      | got when got < len -> Error (Torn (Printf.sprintf "%d of %d payload bytes" got len))
+      | _ -> Ok (Bytes.unsafe_to_string payload)
+      | exception Unix.Unix_error (e, _, _) -> Error (Torn (Unix.error_message e)))
+  | exception Unix.Unix_error (e, _, _) -> Error (Torn (Unix.error_message e))
+
+let send fd v =
+  let payload = Perf_json.to_string v in
+  if Faultpoint.fires fp_conn_torn then begin
+    (* A peer dying mid-write leaves a prefix of the frame on the wire.
+       Write that prefix, then fail the send like any broken pipe — the
+       caller's connection-drop path owns the cleanup. *)
+    let b = frame_bytes payload in
+    write_all fd b 0 (Bytes.length b / 2);
+    raise (Unix.Unix_error (Unix.EPIPE, "Framing.send", "svc.conn.torn"))
+  end;
+  write_frame fd payload
+
+let recv fd =
+  match read_frame fd with
+  | Error _ as e -> e
+  | Ok payload -> (
+    match Perf_json.parse payload with
+    | Ok v -> Ok v
+    | Error msg -> Error (Malformed msg))

@@ -1,0 +1,52 @@
+(** Length-prefixed message framing over file descriptors — the wire
+    layer of the experiment service ([wishd]).
+
+    A frame is a 4-byte big-endian payload length followed by the
+    payload bytes. Two layers are exposed:
+
+    - {!write_frame}/{!read_frame} move raw byte payloads (the
+      daemon↔worker pipes, which carry [Marshal]ed job records);
+    - {!send}/{!recv} move {!Perf_json} values as framed UTF-8 text (the
+      daemon↔client protocol, so clients in any language can speak it).
+
+    Reads are {e total}: a closed peer, a frame torn mid-payload, an
+    oversized length word, or non-JSON payload bytes all come back as
+    structured {!error} values, never as exceptions or unbounded reads —
+    the random-bytes property the framing tests pin down. Writes loop
+    over partial [Unix.write]s and retry [EINTR].
+
+    Chaos-test injection site: [svc.conn.torn] — an armed {!send}
+    truncates its frame mid-payload (the bytes of a connection torn by a
+    dying peer), so the reader's next {!recv} surfaces [Torn] or
+    [Malformed] and the client's local-fallback path is exercised. *)
+
+(** Frames whose payload exceeds this are refused on both sides
+    (16 MiB — tables and job records are a few KiB). *)
+val max_frame : int
+
+type error =
+  | Closed  (** orderly EOF at a frame boundary *)
+  | Torn of string  (** EOF or read error mid-frame *)
+  | Oversized of int  (** length word beyond {!max_frame} *)
+  | Malformed of string  (** payload is not parseable JSON ({!recv} only) *)
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+(** [write_frame fd payload] — write the length word and payload,
+    looping over partial writes. Raises [Unix.Unix_error] on a broken
+    peer ([EPIPE] with [SIGPIPE] ignored). *)
+val write_frame : Unix.file_descr -> string -> unit
+
+(** [read_frame fd] — read exactly one frame. Blocks until the frame is
+    complete or the peer vanishes. *)
+val read_frame : Unix.file_descr -> (string, error) result
+
+(** [send fd v] — {!write_frame} [v]'s JSON text. The [svc.conn.torn]
+    faultpoint lives here: when armed and firing, only a prefix of the
+    frame is written and [Unix.Unix_error (EPIPE, _, _)] is raised so
+    the caller drops the connection like any other write failure. *)
+val send : Unix.file_descr -> Perf_json.t -> unit
+
+(** [recv fd] — {!read_frame} then {!Perf_json.parse}. *)
+val recv : Unix.file_descr -> (Perf_json.t, error) result

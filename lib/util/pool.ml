@@ -33,6 +33,15 @@ type t = {
 }
 
 let default_size () = Domain.recommended_domain_count ()
+let auto_size () = max 1 (Domain.recommended_domain_count () - 1)
+
+let jobs_of_string s =
+  match s with
+  | "auto" -> Ok (auto_size ())
+  | _ -> (
+    match int_of_string_opt s with
+    | Some n -> Ok (max 1 n)
+    | None -> Error (Printf.sprintf "expected an integer or 'auto', got %S" s))
 
 let rec worker_loop t idx =
   Mutex.lock t.mutex;

@@ -1,0 +1,167 @@
+(** Forked worker-process pool. See the interface.
+
+    The parent side is single-threaded and event-driven: all state is
+    plain mutable fields touched only by the caller's loop. The child
+    side never returns — [worker_main] loops until EOF on its pipe, then
+    [Unix._exit]s (not [exit]: the child must not run the parent's
+    [at_exit] handlers or flush its buffered channels a second time). *)
+
+let fp_worker_death =
+  Faultpoint.register "svc.worker"
+    ~doc:"a worker process is SIGKILLed right after being handed a job; the job is requeued \
+          via a Died event and the supervisor forks a replacement"
+
+type worker = {
+  mutable pid : int;
+  mutable fd : Unix.file_descr; (* parent's end of the socketpair *)
+  mutable busy : int option; (* ticket of the in-flight job *)
+}
+
+type t = {
+  handler : string -> string;
+  child_setup : unit -> unit;
+  workers : worker array;
+  mutable next_ticket : int;
+  mutable respawned : int;
+  mutable closed : bool;
+}
+
+type event = Result of int * string | Died of int option
+
+let size t = Array.length t.workers
+let respawns t = t.respawned
+
+let worker_main t fd =
+  let rec loop () =
+    match Framing.read_frame fd with
+    | Error _ -> () (* EOF/teardown: the parent closed the pipe *)
+    | Ok payload ->
+      let result = try t.handler payload with _ -> "" in
+      (* An empty result marks a handler that escaped its totality
+         contract; the parent-side protocol treats it like death. *)
+      if result = "" then Unix._exit 2;
+      Framing.write_frame fd result;
+      loop ()
+  in
+  (try loop () with _ -> ());
+  Unix._exit 0
+
+(* [slot] is the worker being (re)forked. The child must close the
+   parent-side fds it inherited for every *sibling* — a surviving copy
+   would keep a sibling's pipe open past the parent's close, so the
+   sibling never sees EOF and shutdown deadlocks in waitpid. The slot
+   itself is skipped: its stale fd number may already have been reused
+   by this very socketpair. *)
+let fork_worker t slot =
+  let parent_fd, child_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.fork () with
+  | 0 ->
+    Unix.close parent_fd;
+    Array.iter
+      (fun w ->
+        if w != slot && w.pid <> 0 then
+          try Unix.close w.fd with Unix.Unix_error _ -> ())
+      t.workers;
+    (try t.child_setup () with _ -> ());
+    worker_main t child_fd
+  | pid ->
+    Unix.close child_fd;
+    (pid, parent_fd)
+
+let create ?size ~handler ?(child_setup = fun () -> ()) () =
+  let size = max 1 (Option.value size ~default:(Pool.auto_size ())) in
+  let t =
+    {
+      handler;
+      child_setup;
+      workers = Array.init size (fun _ -> { pid = 0; fd = Unix.stdin; busy = None });
+      next_ticket = 0;
+      respawned = 0;
+      closed = false;
+    }
+  in
+  Array.iter
+    (fun w ->
+      let pid, fd = fork_worker t w in
+      w.pid <- pid;
+      w.fd <- fd)
+    t.workers;
+  t
+
+let idle t =
+  Array.fold_left (fun n w -> if w.busy = None then n + 1 else n) 0 t.workers
+
+(* Reap the corpse and fork a replacement into the same slot. A worker
+   killed between completing its job and receiving the next one leaves
+   no ticket behind — respawn still restores capacity. *)
+let respawn t w =
+  (try Unix.close w.fd with Unix.Unix_error _ -> ());
+  (try ignore (Unix.waitpid [] w.pid) with Unix.Unix_error _ -> ());
+  let pid, fd = fork_worker t w in
+  w.pid <- pid;
+  w.fd <- fd;
+  t.respawned <- t.respawned + 1
+
+let submit_to_worker t w payload =
+  let ticket = t.next_ticket in
+  t.next_ticket <- ticket + 1;
+  w.busy <- Some ticket;
+  (* A worker can die while idle (e.g. SIGKILLed just after writing
+     its previous result): its EOF is invisible until we next write
+     to the pipe. Respawn and retry — bounded, since a fresh fork
+     has an empty, open pipe. *)
+  (try Framing.write_frame w.fd payload
+   with Unix.Unix_error _ ->
+     respawn t w;
+     Framing.write_frame w.fd payload);
+  if Faultpoint.fires fp_worker_death then
+    (* Injected worker-process death: the job frame is already in the
+       pipe, but the worker dies before (or while) running it. The
+       parent's next handle_readable on this pipe sees EOF, requeues
+       the ticket, and respawns. *)
+    (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+  Some ticket
+
+let try_submit t payload =
+  if t.closed then None
+  else
+    match Array.find_opt (fun w -> w.busy = None) t.workers with
+    | None -> None
+    | Some w -> submit_to_worker t w payload
+
+let try_submit_to t shard payload =
+  if t.closed then None
+  else
+    let w = t.workers.(abs shard mod Array.length t.workers) in
+    if w.busy = None then submit_to_worker t w payload else None
+
+let busy_fds t =
+  Array.to_list t.workers
+  |> List.filter_map (fun w -> if w.busy = None then None else Some w.fd)
+
+let handle_readable t fd =
+  match Array.find_opt (fun w -> w.fd = fd) t.workers with
+  | None -> None
+  | Some w -> (
+    match Framing.read_frame w.fd with
+    | Ok result ->
+      let ticket = w.busy in
+      w.busy <- None;
+      (match ticket with
+      | Some tk -> Some (Result (tk, result))
+      | None -> Some (Died None) (* protocol slip: treat as lost worker *))
+    | Error _ ->
+      let ticket = w.busy in
+      w.busy <- None;
+      respawn t w;
+      Some (Died ticket))
+
+let shutdown t =
+  if not t.closed then begin
+    t.closed <- true;
+    Array.iter
+      (fun w ->
+        (try Unix.close w.fd with Unix.Unix_error _ -> ());
+        try ignore (Unix.waitpid [] w.pid) with Unix.Unix_error _ -> ())
+      t.workers
+  end

@@ -1,0 +1,81 @@
+(** Supervised pool of forked {e worker processes} — the
+    process-isolation sibling of {!Pool}'s domain workers, built for the
+    experiment service daemon.
+
+    Where {!Pool} shares one heap across domains, this pool forks [size]
+    child processes at {!create} time, each connected to the parent by a
+    socketpair carrying length-prefixed byte frames ({!Framing}). A
+    worker loops: read one job payload, run the [handler] it was created
+    with, write one result payload. Process isolation means a worker
+    that corrupts its heap, leaks, or dies outright cannot touch the
+    daemon or its siblings — crash-safe cache writers by construction.
+
+    The pool is {e supervised} like {!Pool}: a worker that dies with a
+    job in flight (EOF on its pipe before the result frame) has its job
+    handed back to the caller as a {!Died} event for requeueing, the
+    corpse is reaped with [waitpid], and a replacement is forked into
+    the same slot — capacity never decays. {!respawns} counts the
+    replacements.
+
+    Unlike {!Pool.map}, this pool is {e asynchronous}: the caller owns
+    the event loop. {!try_submit} dispatches to an idle worker,
+    {!busy_fds} feeds [Unix.select], and {!handle_readable} turns a
+    readable worker pipe into a {!event}. That shape is what lets one
+    daemon thread multiplex client connections and worker completions
+    without threads or domains (forking after spawning domains is
+    unsupported in OCaml 5 — keep daemon processes domain-free).
+
+    Chaos-test injection site: [svc.worker] — an armed {!try_submit}
+    SIGKILLs the chosen worker right after handing it the job,
+    exercising the requeue + respawn path deterministically. *)
+
+type t
+
+(** Events surfaced by {!handle_readable}. Tickets are the values
+    {!try_submit} returned. *)
+type event =
+  | Result of int * string  (** ticket, result payload *)
+  | Died of int option
+      (** a worker exited mid-job (ticket) or while idle ([None]); it
+          has already been reaped and respawned *)
+
+(** [create ?size ~handler ()] — fork the workers. [size] is clamped to
+    [>= 1] and defaults to {!Pool.auto_size}. [handler] runs in the
+    child on every job payload and must be total (an escaping exception
+    kills the worker, which the parent sees as {!Died}). [child_setup]
+    runs in each child right after the fork — the daemon uses it to
+    close inherited listening/client descriptors; it is re-run in
+    respawned workers. *)
+val create : ?size:int -> handler:(string -> string) -> ?child_setup:(unit -> unit) -> unit -> t
+
+val size : t -> int
+
+(** Idle workers able to accept a {!try_submit} right now. *)
+val idle : t -> int
+
+(** Workers forked to replace a dead one since {!create}. *)
+val respawns : t -> int
+
+(** [try_submit t payload] — hand [payload] to an idle worker and return
+    its ticket, or [None] when every worker is busy. *)
+val try_submit : t -> string -> int option
+
+(** [try_submit_to t shard payload] — like {!try_submit}, but pinned to
+    worker [shard mod size]. [None] when that worker is busy. Affinity
+    dispatch: routing all jobs that share expensive memoized state (the
+    service shards by benchmark) to one worker keeps its in-process
+    caches hot instead of rebuilding them in every worker. *)
+val try_submit_to : t -> int -> string -> int option
+
+(** Pipe descriptors of busy workers, for the caller's [Unix.select]. *)
+val busy_fds : t -> Unix.file_descr list
+
+(** [handle_readable t fd] — consume what a readable worker pipe holds:
+    a completed job's result, or the EOF of a dead worker (reaped and
+    respawned before returning). [None] when [fd] is not one of this
+    pool's pipes. *)
+val handle_readable : t -> Unix.file_descr -> event option
+
+(** Close every pipe (workers exit on EOF) and reap the children.
+    Idempotent. In-flight jobs are abandoned. *)
+val shutdown : t -> unit
