@@ -1,6 +1,6 @@
 (* Performance regression gate: re-times a representative case from each
    recorded BENCH_*.json baseline (machine-local, gitignored — written
-   by simloop.exe / emuloop.exe) and fails (exit 1) when the fresh
+   by simloop.exe / emuloop.exe / sampleloop.exe) and fails (exit 1) when the fresh
    compiled-path reading exceeds baseline × tolerance.
 
    The smoke aliases in runtest guard *correctness* plus a conservative
@@ -15,10 +15,11 @@
 
    from the repository root (the baselines are read from the cwd).
    Usage: perfgate.exe [--gc-tune] [--tol X] [--sim-iters N] [--emu-iters N]
-   [--hot-iters N] (defaults: tol 1.6, 8 sim runs, 3 emu runs, 30 hot
-   runs per case; timed work is a small representative subset, not the
-   full matrices — simloop.exe, emuloop.exe, and hotloop.exe remain the
-   owners of the baseline files). *)
+   [--hot-iters N] [--sample-iters N] (defaults: tol 1.6, 8 sim runs, 3
+   emu runs, 30 hot runs, 3 sample runs per case; timed work is a small
+   representative subset, not the full matrices — simloop.exe,
+   emuloop.exe, sampleloop.exe, and hotloop.exe remain the owners of the
+   baseline files). *)
 
 module J = Wish_util.Perf_json
 module Gc_stats = Wish_util.Gc_stats
@@ -139,6 +140,41 @@ let gate_emu ~tol ~iters json =
     emu_cases
 
 (* ----------------------------------------------------------------- *)
+(* Sampled-warming gate: fresh fused_ns_per_inst vs BENCH_sample.json *)
+(* ----------------------------------------------------------------- *)
+
+(* Re-times the fused (trace-free) warming path end to end — the same
+   whole-pipeline measurement sampleloop.exe records — on one
+   representative workload per baseline case. *)
+let sample_cases = [ "gzip"; "mcf" ]
+
+let gate_sample ~tol ~iters json =
+  let scale = scale_of json ~default:10 in
+  let config = Wish_sim.Config.default in
+  List.iter
+    (fun name ->
+      match baseline_of json ~file:"BENCH_sample.json" ~case:name ~field:"fused_ns_per_inst" with
+      | Error msg ->
+        incr failures;
+        Printf.printf "%-28s %s\n%!" ("sample:" ^ name) msg
+      | Ok baseline ->
+        let program = program_for ~scale name Policy.Wish_jjl in
+        (* Same fixed sparse spec as sampleloop (see Sample_spec), so
+           gate and baseline measure the same pipeline. One untimed
+           materialized trace pins the dynamic length for the ns/inst
+           normalization, exactly as sampleloop does. *)
+        let trace, _final = Wish_emu.Trace.generate program in
+        let total = Wish_emu.Trace.length trace in
+        let spec = Sample_spec.spec in
+        let fresh_run =
+          best_ns ~iters (fun () ->
+              ignore (Wish_sim.Sampler.run_fused ~config ~spec program))
+        in
+        let fresh = fresh_run /. float_of_int (max 1 total) in
+        gate ~tol ~label:("sample:" ^ name) ~baseline ~fresh)
+    sample_cases
+
+(* ----------------------------------------------------------------- *)
 (* Hot-loop gate: fresh ns_per_run vs BENCH_hotloop.json              *)
 (* ----------------------------------------------------------------- *)
 
@@ -164,23 +200,25 @@ let gate_hotloop ~tol ~iters json =
     Hotkernels.cases
 
 let () =
-  let rec parse (tol, sim_iters, emu_iters, hot_iters, tune) = function
-    | [] -> (tol, sim_iters, emu_iters, hot_iters, tune)
+  let rec parse (tol, sim_iters, emu_iters, hot_iters, sample_iters, tune) = function
+    | [] -> (tol, sim_iters, emu_iters, hot_iters, sample_iters, tune)
     | "--tol" :: v :: rest ->
-      parse (float_of_string v, sim_iters, emu_iters, hot_iters, tune) rest
+      parse (float_of_string v, sim_iters, emu_iters, hot_iters, sample_iters, tune) rest
     | "--sim-iters" :: v :: rest ->
-      parse (tol, int_of_string v, emu_iters, hot_iters, tune) rest
+      parse (tol, int_of_string v, emu_iters, hot_iters, sample_iters, tune) rest
     | "--emu-iters" :: v :: rest ->
-      parse (tol, sim_iters, int_of_string v, hot_iters, tune) rest
+      parse (tol, sim_iters, int_of_string v, hot_iters, sample_iters, tune) rest
     | "--hot-iters" :: v :: rest ->
-      parse (tol, sim_iters, emu_iters, int_of_string v, tune) rest
-    | "--gc-tune" :: rest -> parse (tol, sim_iters, emu_iters, hot_iters, true) rest
+      parse (tol, sim_iters, emu_iters, int_of_string v, sample_iters, tune) rest
+    | "--sample-iters" :: v :: rest ->
+      parse (tol, sim_iters, emu_iters, hot_iters, int_of_string v, tune) rest
+    | "--gc-tune" :: rest -> parse (tol, sim_iters, emu_iters, hot_iters, sample_iters, true) rest
     | a :: _ ->
       Printf.eprintf "perfgate: unknown argument %s\n" a;
       exit 2
   in
-  let tol, sim_iters, emu_iters, hot_iters, gc_tune =
-    parse (1.6, 8, 3, 30, false) (List.tl (Array.to_list Sys.argv))
+  let tol, sim_iters, emu_iters, hot_iters, sample_iters, gc_tune =
+    parse (1.6, 8, 3, 30, 3, false) (List.tl (Array.to_list Sys.argv))
   in
   if gc_tune then Gc_stats.tune ();
   (* Missing and malformed baselines are different situations: the first
@@ -204,6 +242,7 @@ let () =
   in
   with_baseline "BENCH_sim.json" (gate_sim ~tol ~iters:sim_iters);
   with_baseline "BENCH_emu.json" (gate_emu ~tol ~iters:emu_iters);
+  with_baseline "BENCH_sample.json" (gate_sample ~tol ~iters:sample_iters);
   with_baseline "BENCH_hotloop.json" (gate_hotloop ~tol ~iters:hot_iters);
   if !failures > 0 then begin
     Printf.printf "perfgate: %d failure(s)\n%!" !failures;

@@ -1,0 +1,15 @@
+(* The sampling spec shared by sampleloop.exe (baseline recorder) and
+   perfgate.exe (regression gate). One definition so the two can never
+   measure different pipelines.
+
+   A fixed SMARTS-style sparse spec rather than [Sampler.auto]: auto
+   targets estimate quality (~5-10% of entries in detailed windows),
+   which makes a scale-10 sampled run mostly *detailed-window* time —
+   shared by every warming path and therefore blind to warming
+   throughput, the thing this benchmark exists to track. 600k warm
+   entries between 4.2k-entry windows is canonical interval-sampling
+   territory (~1-3% detailed at scale 10) and keeps functional warming
+   the dominant cost, so a warming regression actually moves the
+   end-to-end number. The identity gates in sampleloop and the fused
+   test group in test_sim cover estimator agreement at other specs. *)
+let spec = Wish_sim.Sampler.spec ~warm:600_000 ~detail:4_200

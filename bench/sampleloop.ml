@@ -1,0 +1,171 @@
+(* CPU-time A/B harness for sampled-simulation warming: runs gzip and
+   mcf (wish-jjl, input A) through a whole sampled run — functional
+   warming plus detailed measurement windows — along the three
+   end-to-end paths
+
+     trace    Trace.generate (materialize every entry) + Sampler.run
+     stream   Trace.stream (bounded-memory chunks)     + Sampler.run
+     fused    Sampler.run_fused — warming hooks fused into the compiled
+              emulator, trace chunks materialized only for window spans
+
+   plus a warm-phase-only A/B (state at end-of-trace from nothing,
+   trace-based vs fused, no detailed windows) that isolates warming
+   throughput from the detailed-simulation time every path shares.
+
+   Each case first does an untimed identity gate requiring all three
+   paths to agree on the full sampling report (windows, estimates, CIs,
+   warming-cache stats) bit for bit; the timed region then measures the
+   whole pipeline including trace generation, which is the point — the
+   fused path's win is never encoding the warm-gap entries at all.
+   Reports ns per trace entry and GC pressure per path plus the
+   fused-vs-trace speedups (end-to-end and warm-phase), and tracks
+   minor words per functionally warmed instruction for the fused path.
+   Twin JSON report in BENCH_sample.json.
+   Usage: sampleloop.exe [--gc-tune] [--scale N] [ITERS]
+   (defaults: scale 10, 3 timed runs per case and path). *)
+
+module Gc_stats = Wish_util.Gc_stats
+module Sampler = Wish_sim.Sampler
+module Trace = Wish_emu.Trace
+
+let program_for ~scale name =
+  let bench = Wish_workloads.Workloads.find ~scale name in
+  let bins =
+    Wish_compiler.Compiler.compile_all ~mem_words:bench.mem_words ~name:bench.name
+      ~profile_data:(Wish_workloads.Bench.profile_data bench) bench.ast
+  in
+  Wish_workloads.Bench.program_for bench
+    (Wish_compiler.Compiler.binary bins Wish_compiler.Policy.Wish_jjl)
+    "A"
+
+(* Time the paths interleaved (one timed run per path per cycle, [iters]
+   cycles, one untimed warmup each) so a slow window on a shared box
+   taxes all paths alike. Best (minimum) segment per path is reported,
+   the reading least polluted by scheduler interference. *)
+let time_paths ~iters (fs : (unit -> unit) array) =
+  let n = Array.length fs in
+  Array.iter (fun f -> f ()) fs;
+  let best = Array.make n infinity and minor = Array.make n 0.0 in
+  for _ = 1 to max 1 iters do
+    Array.iteri
+      (fun j f ->
+        let g0 = Gc_stats.snapshot () in
+        let t0 = Sys.time () in
+        f ();
+        best.(j) <- min best.(j) (1e9 *. (Sys.time () -. t0));
+        minor.(j) <- minor.(j) +. (Gc_stats.diff g0 (Gc_stats.snapshot ())).Gc_stats.minor_words)
+      fs
+  done;
+  Array.init n (fun j -> (best.(j), minor.(j) /. float_of_int (max 1 iters)))
+
+let bench_case ~iters ~scale name =
+  let program = program_for ~scale name in
+  let config = Wish_sim.Config.default in
+  (* One materialized trace pins the dynamic length and anchors the
+     untimed identity gate. The spec is the fixed sparse one shared
+     with perfgate (see Sample_spec). *)
+  let trace, _final = Trace.generate program in
+  let total = Trace.length trace in
+  let spec = Sample_spec.spec in
+  let reference = Sampler.run ~config ~spec program trace in
+  let gate label r =
+    (* [compare] rather than [=]: an equal-but-NaN CI still counts. *)
+    if compare r reference <> 0 then begin
+      Printf.eprintf "FAIL %s: %s sampled report differs from trace-based\n" name label;
+      exit 1
+    end
+  in
+  gate "streamed" (Sampler.run ~config ~spec program (Trace.stream program));
+  gate "fused" (Sampler.run_fused ~config ~spec program);
+  let timings =
+    time_paths ~iters
+      [|
+        (fun () ->
+          let t, _ = Trace.generate program in
+          ignore (Sampler.run ~config ~spec program t));
+        (fun () -> ignore (Sampler.run ~config ~spec program (Trace.stream program)));
+        (fun () -> ignore (Sampler.run_fused ~config ~spec program));
+        (* Warm phase alone (state at end-of-trace from nothing, no
+           detailed windows): the tentpole's own metric, undiluted by
+           the detailed-simulation time both paths share. *)
+        (fun () ->
+          let t, _ = Trace.generate program in
+          ignore (Sampler.warm_state_at ~config program t total));
+        (fun () -> ignore (Sampler.fused_warm_state_at ~config program total));
+      |]
+  in
+  let per_inst ns = ns /. float_of_int total in
+  let t_ns, t_mw = timings.(0) in
+  let s_ns, s_mw = timings.(1) in
+  let f_ns, f_mw = timings.(2) in
+  let wt_ns, _ = timings.(3) in
+  let wf_ns, _ = timings.(4) in
+  (* Functionally warmed instructions: everything outside the measured
+     windows (window leads are a few percent of that and ride along). *)
+  let warmed = max 1 (total - reference.Sampler.r_measured_entries) in
+  let f_mw_warm = f_mw /. float_of_int warmed in
+  let speedup = t_ns /. f_ns in
+  let warm_speedup = wt_ns /. wf_ns in
+  Printf.printf
+    "%-6s %9d insts (%2d windows, %4.1f%% measured)  trace %6.1f ns/i  stream %6.1f ns/i  fused %6.1f ns/i  %5.2fx e2e  %5.2fx warm (%4.1f Mi/s)\n%!"
+    name total
+    (List.length reference.Sampler.r_windows)
+    (100.0 *. float_of_int reference.Sampler.r_measured_entries /. float_of_int total)
+    (per_inst t_ns) (per_inst s_ns) (per_inst f_ns) speedup warm_speedup
+    (1e3 /. per_inst wf_ns)
+  [@ocamlformat "disable"];
+  let open Wish_util.Perf_json in
+  ( speedup,
+    ( name,
+      Obj
+        [
+          ("insts", Int total);
+          ("windows", Int (List.length reference.Sampler.r_windows));
+          ("measured_entries", Int reference.Sampler.r_measured_entries);
+          ("warmed_insts", Int warmed);
+          ("trace_ns_per_inst", Float (per_inst t_ns));
+          ("trace_minor_words_per_inst", Float (t_mw /. float_of_int total));
+          ("stream_ns_per_inst", Float (per_inst s_ns));
+          ("stream_minor_words_per_inst", Float (s_mw /. float_of_int total));
+          ("fused_ns_per_inst", Float (per_inst f_ns));
+          ("fused_minor_words_per_inst", Float (f_mw /. float_of_int total));
+          ("fused_minor_words_per_warmed_inst", Float f_mw_warm);
+          ("fused_minsts_per_s", Float (1e3 /. per_inst f_ns));
+          ("warm_trace_ns_per_inst", Float (per_inst wt_ns));
+          ("warm_fused_ns_per_inst", Float (per_inst wf_ns));
+          ("warm_fused_minsts_per_s", Float (1e3 /. per_inst wf_ns));
+          ("speedup_vs_trace", Float speedup);
+          ("speedup_vs_stream", Float (s_ns /. f_ns));
+          ("warm_speedup", Float warm_speedup);
+        ] ) )
+
+let () =
+  let rec parse (scale, iters, tune) = function
+    | [] -> (scale, iters, tune)
+    | "--scale" :: v :: rest -> parse (int_of_string v, iters, tune) rest
+    | "--gc-tune" :: rest -> parse (scale, iters, true) rest
+    | a :: rest ->
+      parse (scale, Option.fold ~none:iters ~some:Fun.id (int_of_string_opt a), tune) rest
+  in
+  let scale, iters, gc_tune = parse (10, 3, false) (List.tl (Array.to_list Sys.argv)) in
+  if gc_tune then Gc_stats.tune ();
+  let wall0 = Unix.gettimeofday () in
+  let cases = List.map (bench_case ~iters ~scale) [ "gzip"; "mcf" ] in
+  let min_speedup = List.fold_left (fun m (s, _) -> min m s) infinity cases in
+  Printf.printf "gc: %s; peak RSS %d KiB; min speedup %.2fx\n%!" (Gc_stats.summary_line ())
+    (Gc_stats.peak_rss_kb ()) min_speedup;
+  let open Wish_util.Perf_json in
+  let g = Gc_stats.snapshot () in
+  write_file "BENCH_sample.json"
+    (Obj
+       [
+         ("bench", String "sampleloop");
+         ("scale", Int scale);
+         ("iters", Int iters);
+         ("wall_s", Float (Unix.gettimeofday () -. wall0));
+         ("min_speedup", Float min_speedup);
+         ("minor_words", Float g.minor_words);
+         ("major_words", Float g.major_words);
+         ("peak_rss_kb", of_rss (Gc_stats.peak_rss_kb_opt ()));
+         ("cases", Obj (List.map snd cases));
+       ])

@@ -76,10 +76,11 @@ let remote_run ~socket ~selected ~scale ~benchmarks ~sample ~csv_dir ~verbose =
     remaining
 
 let run names scale verbose benchmarks csv_dir jobs no_cache gc_tune emu_interp timeout retries
-    keep_going resume sample sample_parallel connect =
+    keep_going resume sample sample_parallel warm_trace connect =
   Wish_util.Faultpoint.arm_from_env ();
   if gc_tune then Wish_util.Gc_stats.tune ();
   Wish_emu.Trace.use_interpreter := emu_interp;
+  Wish_sim.Sampler.use_fused := not warm_trace;
   let jobs =
     match Wish_util.Pool.jobs_of_string jobs with
     | Ok n -> n
@@ -356,6 +357,13 @@ let run_term =
              ~doc:"With --sample: fan each sampled run's measurement windows across the worker \
                    domains (serial runs only; batched jobs already use the pool)")
   in
+  let warm_trace =
+    Arg.(value & flag
+         & info [ "warm-trace" ]
+             ~doc:"Warm sampled runs through the trace-based reference loop instead of \
+                   the warming hooks fused into the compiled emulator (A/B lever; \
+                   estimates are bit-identical, only slower)")
+  in
   let connect =
     Arg.(value & opt (some string) None
          & info [ "connect" ] ~docv:"PATH"
@@ -366,7 +374,8 @@ let run_term =
   in
   Term.(
     const run $ names $ scale $ verbose $ benchmarks $ csv_dir $ jobs $ no_cache $ gc_tune
-    $ emu_interp $ timeout $ retries $ keep_going $ resume $ sample $ sample_parallel $ connect)
+    $ emu_interp $ timeout $ retries $ keep_going $ resume $ sample $ sample_parallel
+    $ warm_trace $ connect)
 
 let cmd =
   Cmd.v (Cmd.info "experiments" ~doc:"Regenerate the wish-branches paper's tables and figures")

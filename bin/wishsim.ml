@@ -8,8 +8,8 @@ open Cmdliner
 module Lab = Wish_experiments.Lab
 
 let run bench_name kind_name input scale asm_file rob stages mech_select wish_hw perfect_bp
-    perfect_conf no_depend no_fetch streaming sample sample_parallel jobs gc_tune emu_interp
-    sim_interp show_stats show_code =
+    perfect_conf no_depend no_fetch streaming sample sample_parallel warm_trace jobs gc_tune
+    emu_interp sim_interp show_stats show_code =
   Wish_util.Faultpoint.arm_from_env ();
   let jobs =
     match Wish_util.Pool.jobs_of_string jobs with
@@ -21,6 +21,7 @@ let run bench_name kind_name input scale asm_file rob stages mech_select wish_hw
   if gc_tune then Wish_util.Gc_stats.tune ();
   Wish_emu.Trace.use_interpreter := emu_interp;
   Wish_sim.Core.use_compiled := not sim_interp;
+  Wish_sim.Sampler.use_fused := not warm_trace;
   let sample_spec =
     (* [None]: exact. [Some None]: sampled, auto spec. [Some (Some s)]:
        sampled with an explicit W:D spec. *)
@@ -170,6 +171,13 @@ let cmd =
              ~doc:"Fan the sampled run's measurement windows across worker domains \
                    (requires --sample; ignored with --stream)")
   in
+  let warm_trace =
+    Arg.(value & flag
+         & info [ "warm-trace" ]
+             ~doc:"Warm sampled runs through the trace-based reference loop instead of \
+                   the warming hooks fused into the compiled emulator (A/B lever; \
+                   estimates are bit-identical, only slower)")
+  in
   let jobs =
     Arg.(value & opt string "auto"
          & info [ "j"; "jobs" ]
@@ -199,7 +207,7 @@ let cmd =
     (Cmd.info "wishsim" ~doc:"Cycle-level simulation of wish-branch binaries")
     Term.(
       const run $ bench $ kind $ input $ scale $ asm_file $ rob $ stages $ mech $ wish_hw $ pbp
-      $ pcf $ nd $ nf $ streaming $ sample $ sample_parallel $ jobs $ gc_tune $ emu_interp
-      $ sim_interp $ stats $ code)
+      $ pcf $ nd $ nf $ streaming $ sample $ sample_parallel $ warm_trace $ jobs $ gc_tune
+      $ emu_interp $ sim_interp $ stats $ code)
 
 let () = exit (Cmd.eval cmd)

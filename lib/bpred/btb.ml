@@ -32,6 +32,35 @@ let lookup t ~pc = Wish_util.Lru.find t.table ~set:(set_of t pc) ~tag:(tag_of t 
 let insert t ~pc ~target ~is_wish =
   ignore (Wish_util.Lru.insert t.table ~set:(set_of t pc) ~tag:(tag_of t pc) { target; is_wish })
 
+(** [index t ~pc] — the set/tag pair for [pc], resolved once at plan time
+    for {!insert_at}. *)
+let index t ~pc = (set_of t pc, tag_of t pc)
+
+(** [insert_at t ~set ~tag e] is {!insert} with the index and the entry
+    record pre-resolved: the fused warming path allocates one immutable
+    [entry] per static branch at plan time and reinserts it per retired
+    taken branch with no allocation. Identical replacement decisions. *)
+let insert_at t ~set ~tag (e : entry) = Wish_util.Lru.insert_quiet t.table ~set ~tag e
+
+(** [insert_cached t ~set ~tag ~slot e] — {!insert_at} through a cached
+    slot handle ([!slot], [-1] when unknown). A handle that still holds
+    this tag is refreshed in place — the exact recency bump and payload
+    store of {!insert_at}'s hit path, minus the way scan; otherwise the
+    full insert runs and the handle is re-resolved. A hot static branch
+    stays resident between retirements, so the scan is skipped almost
+    always. *)
+let insert_cached t ~set ~tag ~slot (e : entry) =
+  let module L = Wish_util.Lru in
+  let s = !slot in
+  if s >= 0 && L.slot_matches t.table s ~tag then begin
+    L.touch_slot t.table s;
+    L.set_slot_payload t.table s e
+  end
+  else begin
+    L.insert_quiet t.table ~set ~tag e;
+    slot := L.find_slot t.table ~set ~tag
+  end
+
 (** [hit t ~pc] — presence with the same LRU-recency refresh as [lookup],
     without boxing the entry (the core's bubble decision only needs the
     hit/miss bit). *)

@@ -16,6 +16,19 @@ val hit : t -> pc:int -> bool
 
 val insert : t -> pc:int -> target:int -> is_wish:bool -> unit
 
+(** [index t ~pc] — the set/tag pair for [pc], for {!insert_at}. *)
+val index : t -> pc:int -> int * int
+
+(** [insert_at t ~set ~tag e] — {!insert} with index and entry record
+    pre-resolved: identical replacement decisions, zero allocation. *)
+val insert_at : t -> set:int -> tag:int -> entry -> unit
+
+(** [insert_cached t ~set ~tag ~slot e] — {!insert_at} through a cached
+    slot handle ([!slot], [-1] when unknown): a handle still holding this
+    tag is refreshed in place without a way scan; otherwise the full
+    insert runs and the handle is re-resolved. Identical mutations. *)
+val insert_cached : t -> set:int -> tag:int -> slot:int ref -> entry -> unit
+
 (** [reset t] restores the exact just-created state in place. *)
 val reset : t -> unit
 

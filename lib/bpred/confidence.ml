@@ -24,7 +24,16 @@ type config = {
    available via the record fields. *)
 let default_config = { sets = 64; ways = 4; counter_bits = 4; threshold = 10; history_bits = 4 }
 
-type t = { table : int Wish_util.Lru.t; config : config; set_bits : int }
+type t = {
+  table : int Wish_util.Lru.t;
+  config : config;
+  set_bits : int;
+  (* The two possible counter updates, allocated once here rather than as
+     a fresh closure per [train] call (warming retires millions of wish
+     branches; a per-call closure is the dominant allocation). *)
+  f_correct : int -> int;
+  f_wrong : int -> int;
+}
 
 let log2 n =
   let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
@@ -32,10 +41,13 @@ let log2 n =
 
 let create config =
   assert (config.threshold <= (1 lsl config.counter_bits) - 1);
+  let max_c = (1 lsl config.counter_bits) - 1 in
   {
     table = Wish_util.Lru.create ~sets:config.sets ~ways:config.ways ~default:(fun () -> 0);
     config;
     set_bits = (if config.sets land (config.sets - 1) = 0 then log2 config.sets else -1);
+    f_correct = (fun c -> min max_c (c + 1));
+    f_wrong = (fun _ -> 0);
   }
 
 (* The [history_bits] of global history are folded (xor-reduced) down to
@@ -72,18 +84,39 @@ let is_high_confidence t ~pc ~history =
     the entry on first sight. *)
 let train t ~pc ~history ~correct =
   let set = set_of t ~pc ~history and tag = tag_of ~pc in
-  let max_c = (1 lsl t.config.counter_bits) - 1 in
   let updated =
-    Wish_util.Lru.update t.table ~set ~tag ~f:(fun c ->
-        if correct then min max_c (c + 1) else 0)
+    Wish_util.Lru.update t.table ~set ~tag ~f:(if correct then t.f_correct else t.f_wrong)
   in
   if not updated then
-    ignore (Wish_util.Lru.insert t.table ~set ~tag (if correct then 1 else 0))
+    Wish_util.Lru.insert_quiet t.table ~set ~tag (if correct then 1 else 0)
 
 (** [warm] — the estimator's retirement update is already purely
     architectural; the alias keeps the five predictors' warming API
     uniform. *)
 let warm = train
+
+(** [warm_probe t ~pc ~history ~correct] — {!is_high_confidence} followed
+    by {!warm}, in one table scan instead of three: returns the
+    pre-training high-confidence bit and applies the resetting-counter
+    update. The recency/clock sequence is exactly the two separate
+    calls' (probe refresh, then train refresh; a probe miss refreshes
+    nothing and the train inserts). *)
+let warm_probe t ~pc ~history ~correct =
+  let set = set_of t ~pc ~history and tag = tag_of ~pc in
+  let module L = Wish_util.Lru in
+  let i = L.find_slot t.table ~set ~tag in
+  if i >= 0 then begin
+    L.touch_slot t.table i;
+    let c = L.slot_payload t.table i in
+    let high = c >= t.config.threshold in
+    L.touch_slot t.table i;
+    L.set_slot_payload t.table i (if correct then t.f_correct c else t.f_wrong c);
+    high
+  end
+  else begin
+    L.insert_quiet t.table ~set ~tag (if correct then 1 else 0);
+    false
+  end
 
 let copy t = { t with table = Wish_util.Lru.copy t.table }
 

@@ -34,6 +34,12 @@ val train : t -> pc:int -> history:int -> correct:bool -> unit
     across the predictor suite). *)
 val warm : t -> pc:int -> history:int -> correct:bool -> unit
 
+(** [warm_probe t ~pc ~history ~correct] — [is_high_confidence] followed
+    by [warm] in one table scan: returns the pre-training
+    high-confidence bit and applies the counter update, with a
+    recency/clock sequence identical to the two separate calls. *)
+val warm_probe : t -> pc:int -> history:int -> correct:bool -> bool
+
 (** Independent deep copy (for sampled-simulation checkpoints). *)
 val copy : t -> t
 

@@ -27,7 +27,7 @@ let default_config =
 type t = {
   gshare : Gshare.t;
   pas : Pas.t;
-  selector : int array; (* 2-bit: >=2 chooses gshare *)
+  selector : Bytes.t; (* 2-bit counters, byte each: >=2 chooses gshare *)
   selector_mask : int;
   mutable history : int; (* speculative global history *)
   history_mask : int;
@@ -70,7 +70,7 @@ let create config =
     pas =
       Pas.create ~bht_bits:config.pas_bht_bits ~hist_bits:config.pas_hist_bits
         ~pht_bits:config.pas_pht_bits;
-    selector = Array.make (1 lsl config.selector_bits) 2;
+    selector = Bytes.make (1 lsl config.selector_bits) '\002';
     selector_mask = (1 lsl config.selector_bits) - 1;
     history = 0;
     history_mask = (1 lsl config.gshare_bits) - 1;
@@ -83,7 +83,7 @@ let predict t ~pc =
   let g_taken = Gshare.predict_at t.gshare g_index in
   let p_taken, p_index = Pas.predict t.pas ~pc in
   let s_index = (pc lxor t.history) land t.selector_mask in
-  let taken = if t.selector.(s_index) >= 2 then g_taken else p_taken in
+  let taken = if Bytes.unsafe_get t.selector s_index >= '\002' then g_taken else p_taken in
   { taken; g_taken; p_taken; g_index; p_index; s_index }
 
 (** Speculatively shift [dir] (the direction the front end follows) into
@@ -110,9 +110,9 @@ let train t (l : lookup) ~taken =
   (* The selector trains toward the component that was right, only when the
      components disagree. *)
   if l.g_taken <> l.p_taken then begin
-    let c = t.selector.(l.s_index) in
-    t.selector.(l.s_index) <-
-      (if l.g_taken = taken then min 3 (c + 1) else max 0 (c - 1))
+    let c = Char.code (Bytes.unsafe_get t.selector l.s_index) in
+    Bytes.unsafe_set t.selector l.s_index
+      (Char.unsafe_chr (if l.g_taken = taken then min 3 (c + 1) else max 0 (c - 1)))
   end
 
 (* ----- buffer-based protocol (allocation-free mirror of the above) ----- *)
@@ -123,7 +123,7 @@ let predict_into t ~pc (d : lbuf) =
   let p_index = Pas.predict_index t.pas ~pc in
   let p_taken = Pas.taken_at t.pas p_index in
   let s_index = (pc lxor t.history) land t.selector_mask in
-  d.b_taken <- (if t.selector.(s_index) >= 2 then g_taken else p_taken);
+  d.b_taken <- (if Bytes.unsafe_get t.selector s_index >= '\002' then g_taken else p_taken);
   d.b_g_taken <- g_taken;
   d.b_p_taken <- p_taken;
   d.b_g_index <- g_index;
@@ -148,10 +148,22 @@ let train_b t (d : lbuf) ~taken =
   Gshare.train_at t.gshare d.b_g_index ~taken;
   Pas.train_at t.pas d.b_p_index ~taken;
   if d.b_g_taken <> d.b_p_taken then begin
-    let c = t.selector.(d.b_s_index) in
-    t.selector.(d.b_s_index) <-
-      (if d.b_g_taken = taken then min 3 (c + 1) else max 0 (c - 1))
+    let c = Char.code (Bytes.unsafe_get t.selector d.b_s_index) in
+    Bytes.unsafe_set t.selector d.b_s_index
+      (Char.unsafe_chr (if d.b_g_taken = taken then min 3 (c + 1) else max 0 (c - 1)))
   end
+
+(** [warm_train_b t d ~pc ~dir ~taken] — the training half of a fused
+    warming step whose probe half was {!predict_into}: train every table
+    at the captured indices, then shift [dir] into the global and local
+    histories. [predict_into] followed by [warm_train_b] performs exactly
+    {!warm_fast}'s table reads and updates, in the same order — it just
+    lets the caller consult a confidence estimator between the two
+    halves without recomputing the indices. *)
+let warm_train_b t (d : lbuf) ~pc ~dir ~taken =
+  train_b t d ~taken;
+  t.history <- ((t.history lsl 1) lor if dir then 1 else 0) land t.history_mask;
+  ignore (Pas.spec_update t.pas ~pc ~taken:dir)
 
 (** [reset t] — restore the exact just-created state in place (table
     pooling for the compiled core: a machine acquired from the pool must
@@ -159,7 +171,7 @@ let train_b t (d : lbuf) ~taken =
 let reset t =
   Gshare.reset t.gshare;
   Pas.reset t.pas;
-  Array.fill t.selector 0 (Array.length t.selector) 2;
+  Bytes.fill t.selector 0 (Bytes.length t.selector) '\002';
   t.history <- 0
 
 (** [warm t ~pc ~taken] — functional-warming update: predict, train every
@@ -176,11 +188,45 @@ let warm t ?dir ~pc ~taken () =
   ignore (Pas.spec_update t.pas ~pc ~taken:dir);
   l.taken
 
+(** [predict_taken t ~pc] — the combined direction the predictor would
+    return at the current history, with no lookup record allocated and no
+    recency or history touched (a pure peek for the warming hot path). *)
+let predict_taken t ~pc =
+  let g_taken = Gshare.predict_at t.gshare (Gshare.index t.gshare ~pc ~history:t.history) in
+  let p_taken = Pas.taken_at t.pas (Pas.predict_index t.pas ~pc) in
+  if Bytes.unsafe_get t.selector ((pc lxor t.history) land t.selector_mask) >= '\002' then
+    g_taken
+  else p_taken
+
+(** [warm_fast t ~dir ~pc ~taken] is {!warm} with [dir] mandatory and no
+    lookup record allocated: the same table reads and updates in the same
+    order, same return value. The fused warming path calls this once per
+    retired branch. *)
+let warm_fast t ~dir ~pc ~taken =
+  let g_index = Gshare.index t.gshare ~pc ~history:t.history in
+  let g_taken = Gshare.predict_at t.gshare g_index in
+  let p_index = Pas.predict_index t.pas ~pc in
+  let p_taken = Pas.taken_at t.pas p_index in
+  let s_index = (pc lxor t.history) land t.selector_mask in
+  let predicted =
+    if Bytes.unsafe_get t.selector s_index >= '\002' then g_taken else p_taken
+  in
+  Gshare.train_at t.gshare g_index ~taken;
+  Pas.train_at t.pas p_index ~taken;
+  if g_taken <> p_taken then begin
+    let c = Char.code (Bytes.unsafe_get t.selector s_index) in
+    Bytes.unsafe_set t.selector s_index
+      (Char.unsafe_chr (if g_taken = taken then min 3 (c + 1) else max 0 (c - 1)))
+  end;
+  t.history <- ((t.history lsl 1) lor if dir then 1 else 0) land t.history_mask;
+  ignore (Pas.spec_update t.pas ~pc ~taken:dir);
+  predicted
+
 (** Independent deep copy; checkpoint support for sampled simulation. *)
 let copy t =
   {
     t with
     gshare = Gshare.copy t.gshare;
     pas = Pas.copy t.pas;
-    selector = Array.copy t.selector;
+    selector = Bytes.copy t.selector;
   }

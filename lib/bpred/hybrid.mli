@@ -79,6 +79,15 @@ val train : t -> lookup -> taken:bool -> unit
     pre-training prediction. *)
 val warm : t -> ?dir:bool -> pc:int -> taken:bool -> unit -> bool
 
+(** [predict_taken t ~pc] — the combined direction at the current
+    history; pure peek, nothing allocated, no state touched. *)
+val predict_taken : t -> pc:int -> bool
+
+(** [warm_fast t ~dir ~pc ~taken] — {!warm} without the lookup record:
+    identical table updates in identical order, identical return value,
+    zero allocation (the fused warming path). *)
+val warm_fast : t -> dir:bool -> pc:int -> taken:bool -> bool
+
 (* Buffer-based protocol: allocation-free mirrors of
    predict / spec_update / restore / correct / train. *)
 
@@ -87,6 +96,13 @@ val spec_update_into : t -> pc:int -> dir:bool -> sbuf -> unit
 val restore_b : t -> sbuf -> unit
 val correct_b : t -> sbuf -> dir:bool -> unit
 val train_b : t -> lbuf -> taken:bool -> unit
+
+(** [warm_train_b t d ~pc ~dir ~taken] — the training half of a fused
+    warming step probed with {!predict_into}: train at the captured
+    indices, then shift [dir] into the histories. The pair performs
+    exactly {!warm_fast}'s reads and updates in the same order, letting
+    the caller consult a confidence estimator between the halves. *)
+val warm_train_b : t -> lbuf -> pc:int -> dir:bool -> taken:bool -> unit
 
 (** [reset t] restores the exact just-created state in place (machine
     pooling: an acquired predictor must equal [create config]). *)

@@ -75,9 +75,9 @@ let squash t ~pc =
 
 let squash_all t = Hashtbl.iter (fun _ e -> e.spec_count <- e.current) t.table
 
-(** [train t ~pc ~taken] consumes a retired loop-branch outcome. *)
-let train t ~pc ~taken =
-  let e = entry t pc in
+(* One retired outcome applied to an already-resolved entry; [train] and
+   [warm] share this so warming pays a single table lookup. *)
+let train_entry e ~taken =
   if taken then e.current <- e.current + 1
   else begin
     let trip = e.current in
@@ -93,13 +93,27 @@ let train t ~pc ~taken =
     e.current <- 0
   end
 
+(** [train t ~pc ~taken] consumes a retired loop-branch outcome. *)
+let train t ~pc ~taken = train_entry (entry t pc) ~taken
+
 (** [warm t ~pc ~taken] — functional-warming update: train on the
     architectural outcome and keep the speculative view pinned to the
     retirement view (there is no front end running ahead while warming). *)
 let warm t ~pc ~taken =
-  train t ~pc ~taken;
   let e = entry t pc in
+  train_entry e ~taken;
   e.spec_count <- e.current
+
+(** [warm_entry e ~taken] — {!warm} on a pre-resolved entry. Entries are
+    mutated in place and never replaced, so a fused warming hook can
+    resolve its static branch's entry once (with {!entry}, on the first
+    retirement — exactly when {!warm} would create it) and skip the
+    hash lookup on every later one. *)
+let warm_entry e ~taken =
+  train_entry e ~taken;
+  e.spec_count <- e.current
+
+let resolve = entry
 
 (** [reset t] restores the exact just-created state in place. *)
 let reset t = Hashtbl.reset t.table

@@ -45,6 +45,16 @@ val train : t -> pc:int -> taken:bool -> unit
     retirement state (functional warming has no front end running ahead). *)
 val warm : t -> pc:int -> taken:bool -> unit
 
+(** The mutable per-static-branch record behind [pc]; created on first
+    resolution, mutated in place and never replaced afterwards. *)
+type entry
+
+val resolve : t -> int -> entry
+
+(** [warm_entry e ~taken] — [warm] on a pre-resolved entry: one hash
+    lookup per static branch instead of one per retirement. *)
+val warm_entry : entry -> taken:bool -> unit
+
 (** [reset t] restores the exact just-created state in place. *)
 val reset : t -> unit
 

@@ -2,11 +2,15 @@
     registers indexing a set of pattern history tables.
 
     Local histories are updated speculatively at fetch; the old history is
-    returned so the core can restore it when squashing. *)
+    returned so the core can restore it when squashing.
+
+    The PHT is a byte per 2-bit counter (see {!Gshare}): an eighth of the
+    footprint, and checkpoint copies are one [Bytes.copy]. The BHT stays a
+    word array — it holds history strings, not saturating counters. *)
 
 type t = {
   bht : int array; (* per-address local history registers *)
-  pht : int array; (* pattern history table of 2-bit counters *)
+  pht : Bytes.t; (* pattern history table of 2-bit counters, byte each *)
   bht_bits : int; (* log2 number of history registers *)
   hist_bits : int; (* local history length *)
   pht_bits : int; (* log2 PHT entries *)
@@ -17,7 +21,7 @@ let create ~bht_bits ~hist_bits ~pht_bits =
   assert (hist_bits <= pht_bits);
   {
     bht = Array.make (1 lsl bht_bits) 0;
-    pht = Array.make (1 lsl pht_bits) 2;
+    pht = Bytes.make (1 lsl pht_bits) '\002';
     bht_bits;
     hist_bits;
     pht_bits;
@@ -36,12 +40,12 @@ let local_history t ~pc = t.bht.(bht_index t ~pc)
 
 let predict t ~pc =
   let idx = pht_index t ~pc ~local:(local_history t ~pc) in
-  (t.pht.(idx) >= 2, idx)
+  (Bytes.unsafe_get t.pht idx >= '\002', idx)
 
 (* Tuple-free probes for the allocation-free fetch path: the index is
    computed once and the direction read from it. *)
 let predict_index t ~pc = pht_index t ~pc ~local:(local_history t ~pc)
-let taken_at t idx = t.pht.(idx) >= 2
+let taken_at t idx = Bytes.unsafe_get t.pht idx >= '\002'
 
 (** [spec_update t ~pc ~taken] shifts the predicted direction into the local
     history and returns the previous history for squash repair. *)
@@ -54,8 +58,8 @@ let spec_update t ~pc ~taken =
 let restore t ~pc ~old = t.bht.(bht_index t ~pc) <- old
 
 let train_at t idx ~taken =
-  let c = t.pht.(idx) in
-  t.pht.(idx) <- (if taken then min 3 (c + 1) else max 0 (c - 1))
+  let c = Char.code (Bytes.unsafe_get t.pht idx) in
+  Bytes.unsafe_set t.pht idx (Char.unsafe_chr (if taken then min 3 (c + 1) else max 0 (c - 1)))
 
 (** [warm t ~pc ~taken] — functional-warming update: predict, train the
     indexed counter on the outcome, and shift the outcome (not the
@@ -67,9 +71,9 @@ let warm t ~pc ~taken =
   ignore (spec_update t ~pc ~taken);
   p
 
-let copy t = { t with bht = Array.copy t.bht; pht = Array.copy t.pht }
+let copy t = { t with bht = Array.copy t.bht; pht = Bytes.copy t.pht }
 
 (** [reset t] restores the exact just-created state in place. *)
 let reset t =
   Array.fill t.bht 0 (Array.length t.bht) 0;
-  Array.fill t.pht 0 (Array.length t.pht) 2
+  Bytes.fill t.pht 0 (Bytes.length t.pht) '\002'

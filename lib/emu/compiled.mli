@@ -49,3 +49,14 @@ val step : t -> State.t -> Exec.out -> unit
 val run : t -> State.t -> Exec.out -> sink:sink -> fuel:int -> steps:int -> unit
 
 val run_to_halt : t -> State.t -> Exec.out -> sink:sink -> fuel:int -> unit
+
+(** [run_hooked t st out ~hooks ~fuel ~steps] — warm-sink execution: the
+    per-instruction consumer is chosen per pc from [hooks], and the stop
+    is exact — the final partial block is single-stepped so [st.retired]
+    lands precisely on the requested count (sampled-run checkpoints cut
+    at precise trace indices). [hooks] must have one entry per static
+    instruction; hooks must not mutate the machine state. A hook that is
+    physically {!no_sink} is skipped without the indirect call — warming
+    plans mark statically-inert pcs with it. Raises
+    {!Exec.Out_of_fuel} at exactly the interpreter's instruction. *)
+val run_hooked : t -> State.t -> Exec.out -> hooks:sink array -> fuel:int -> steps:int -> unit

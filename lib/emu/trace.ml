@@ -76,6 +76,8 @@ type t = {
   mutable free : chunk list; (* recycled buffers awaiting reuse *)
   mutable gen : gen option; (* None once the emulator halted *)
   mutable peak : int; (* peak resident entries *)
+  mutable hole : chunk option; (* shared placeholder for skipped slots *)
+  mutable sealed : bool; (* refuse to pull the gen (worker-domain phase) *)
 }
 
 let default_chunk_bits = 15
@@ -96,6 +98,8 @@ let create ?(chunk_bits = default_chunk_bits) ?(hint = 0) ~retain ~gen () =
     free = [];
     gen;
     peak = 0;
+    hole = None;
+    sealed = false;
   }
 
 let length t = t.total
@@ -121,16 +125,54 @@ let fresh_chunk t base =
   | [] ->
     { base; clen = 0; words = Array.make (t.cmask + 1) 0; wide = Hashtbl.create 0 }
 
-let append_chunk t =
+let append_dir t c =
   if t.ndir = Array.length t.dir then begin
-    let bigger = Array.make (2 * t.ndir) dummy_chunk in
+    let bigger = Array.make (2 * max 1 t.ndir) dummy_chunk in
     Array.blit t.dir 0 bigger 0 t.ndir;
     t.dir <- bigger
   end;
-  let c = fresh_chunk t t.total in
   t.dir.(t.ndir) <- c;
-  t.ndir <- t.ndir + 1;
+  t.ndir <- t.ndir + 1
+
+let append_chunk t =
+  let c = fresh_chunk t t.total in
+  append_dir t c;
   c
+
+(* The shared placeholder chunk occupying directory slots whose entries
+   were executed fused (never recorded). It is never written, never
+   recycled into the free list, and — by the consumer contract that only
+   recorded indices are read — never decoded. One zeroed buffer serves
+   every skipped slot. *)
+let hole_chunk t =
+  match t.hole with
+  | Some c -> c
+  | None ->
+    let c = { base = -1; clen = 0; words = Array.make (t.cmask + 1) 0; wide = Hashtbl.create 1 } in
+    t.hole <- Some c;
+    c
+
+let is_hole t c = match t.hole with Some h -> h == c | None -> false
+
+(* [skip_to t i] — streaming only: declare entries [total, i) as executed
+   but never to be recorded (the fused warming path consumed them as they
+   ran). Fully skipped directory slots get the shared hole chunk; when
+   [i] lands mid-chunk, that slot gets a real chunk so [push_out] can
+   resume into it (entries of the slot below [i] stay garbage, which the
+   contract already permits for sub-chunk [release] windows). *)
+let skip_to t i =
+  if t.retain then invalid_arg "Trace.skip_to: materialized traces record every entry";
+  if i < t.total then invalid_arg "Trace.skip_to: cannot rewind";
+  if i > t.total then begin
+    let next_slot = t.dir_base + t.ndir in
+    let si = i lsr t.cbits in
+    let last_needed = if i land t.cmask <> 0 then si else si - 1 in
+    for s = next_slot to last_needed do
+      if s = si then append_dir t (fresh_chunk t (s lsl t.cbits))
+      else append_dir t (hole_chunk t)
+    done;
+    t.total <- i
+  end
 
 (* Record one retired instruction from the shared out-record. This is the
    sink the compiled emulator drives once per instruction. *)
@@ -276,6 +318,12 @@ let ensure t i =
     match t.gen with
     | None -> false
     | Some g ->
+      if t.sealed then
+        failwith
+          (Printf.sprintf
+             "Trace.ensure: entry %d requested while sealed (a measurement window out-read its \
+              pre-recorded margin of %d entries)"
+             i t.total);
       let st = g.g_state in
       (if t.total <= i && not st.State.halted then
          match g.g_compiled with
@@ -301,8 +349,52 @@ let release t i =
       t.ndir <- t.ndir - 1;
       t.dir.(t.ndir) <- dummy_chunk;
       t.dir_base <- t.dir_base + 1;
-      t.free <- dead :: t.free
+      (* The shared hole placeholder may occupy many slots at once; it
+         must never enter the free list (a recycle would write it). *)
+      if not (is_hole t dead) then t.free <- dead :: t.free
     done
+
+(** [set_sealed t flag] — while sealed, an {!ensure} that would need the
+    paused emulator raises [Failure] instead of pulling it. The sampled
+    coordinator seals the trace while measurement windows run (on worker
+    domains the generator's state is not theirs to advance), so a window
+    out-reading its pre-recorded margin fails loudly instead of racing
+    the generator or silently diverging. *)
+let set_sealed t flag = t.sealed <- flag
+
+(** [warm_to t ~hooks ~until] — the trace-free warming driver: advance
+    the paused emulator to exactly [until] retired instructions, feeding
+    each retired instruction's facts to [hooks.(pc)] instead of recording
+    a trace entry, then mark the skipped range with {!skip_to}. Streaming
+    traces only. Returns the new {!length} ([until], or less if the
+    program halts or was already past it — the invariant
+    [gen.retired = total] is preserved either way). Raises
+    {!Out_of_fuel} at exactly the instruction the recording path would. *)
+let warm_to t ~hooks ~until =
+  if t.retain then invalid_arg "Trace.warm_to: materialized traces record every entry";
+  (match t.gen with
+  | None -> ()
+  | Some g ->
+    let st = g.g_state in
+    if until > t.total && not st.State.halted then begin
+      (match g.g_compiled with
+      | Some c -> Compiled.run_hooked c st g.g_out ~hooks ~fuel:g.g_fuel ~steps:(until - t.total)
+      | None ->
+        (* Reference-interpreter twin ([--emu-interp]): one step, one
+           hook dispatch by the retired pc. *)
+        let o = g.g_out in
+        while st.State.retired < until && not st.State.halted do
+          if st.State.retired >= g.g_fuel then raise (Out_of_fuel g.g_fuel);
+          Exec.step_into Exec.Predicate_through g.g_code st o;
+          let h = hooks.(o.Exec.o_pc) in
+          if h != Compiled.no_sink then h o
+        done);
+      skip_to t st.State.retired;
+      if st.State.halted then t.gen <- None
+    end);
+  t.total
+
+let no_hook = Compiled.no_sink
 
 let default_fuel = 200_000_000
 

@@ -93,6 +93,30 @@ val resident_words : t -> int
 
 exception Out_of_fuel of int
 
+(** [set_sealed t flag] — while sealed, an {!ensure} that would need the
+    paused emulator raises [Failure] instead of pulling it. The sampled
+    coordinator seals the trace while measurement windows run on worker
+    domains, so a window out-reading its pre-recorded margin fails loudly
+    instead of racing the generator. Recorded entries stay readable. *)
+val set_sealed : t -> bool -> unit
+
+(** [warm_to t ~hooks ~until] — trace-free functional warming: advance
+    the paused emulator to exactly [until] retired instructions, feeding
+    each retired instruction's {!Exec.out} facts to [hooks.(pc)] instead
+    of recording an entry, and mark the skipped index range as
+    never-to-be-recorded. Streaming traces only; [hooks] needs one entry
+    per static instruction. Returns the new {!length} — [until] unless
+    the program halts first. Subsequent {!ensure}/window reads must stay
+    at or above this point (skipped indices are not decodable). Raises
+    {!Out_of_fuel} at exactly the instruction the recording path would. *)
+val warm_to : t -> hooks:(Exec.out -> unit) array -> until:int -> int
+
+(** Sentinel hook for pcs whose warm step is statically nothing
+    (physically {!Compiled.no_sink}): {!warm_to} recognizes it by
+    identity and skips the indirect call entirely. Warming plans mark
+    straight-line instructions on an already-touched I-line with it. *)
+val no_hook : Exec.out -> unit
+
 (** Force trace generation through the reference interpreter instead of
     the compiled emulator ({!Wish_emu.Compiled}). Byte-identical output —
     this is the [--emu-interp] A/B lever of the drivers, and the

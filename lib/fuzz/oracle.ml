@@ -237,6 +237,18 @@ let sampled_verdict program =
           in
           walk 0 0 report.r_windows
         in
+        let fused_identity () =
+          (* The fused (trace-free) warming path must reproduce the
+             trace-based report bit for bit: same spec, same windows, same
+             estimates, same warming-cache stats. [compare] rather than
+             [=] so an equal-but-NaN CI still counts as identical. *)
+          match run_fused ~config:Config.default ~spec:report.r_spec program with
+          | exception e -> failf "fused-warming sampled run raised: %s" (exn_label e)
+          | fused ->
+            if compare fused report <> 0 then
+              Fail "fused-warming report differs from trace-based warming"
+            else Pass
+        in
         if report.r_total_insts <> total then
           failf "sampled run covered %d of %d trace entries" report.r_total_insts total
         else (
@@ -253,7 +265,7 @@ let sampled_verdict program =
               if est <> exact.Runner.cycles then
                 failf "degenerate (single cold full window) estimate %d <> exact %d" est
                   exact.Runner.cycles
-              else Pass
+              else fused_identity ()
             else if est <= 0 then failf "nonsensical cycle estimate %d" est
             else
               (* Genuinely sampled runs only estimate, and generated
@@ -272,7 +284,7 @@ let sampled_verdict program =
                 if Float.abs (report.r_upc -. exact.Runner.upc) > tol then
                   failf "sampled uPC %.4f (CI %.4f) outside band around exact %.4f" report.r_upc
                     report.r_upc_ci exact.Runner.upc
-                else Pass)))
+                else fused_identity ())))
 
 (* --- (e) artifact round-trips: text and cache ------------------------- *)
 

@@ -8,6 +8,12 @@ type t = { insts : Inst.t array }
 
 let bytes_per_inst = 4
 
+(* One data word as seen by the cache hierarchy: emulator memory is
+   word-addressed, caches are byte-addressed, and every scaling site
+   (simulator data ports, sampled-run warming) must agree on the factor
+   or cache-warming skews silently. *)
+let word_bytes = 8
+
 exception Invalid of string
 
 let invalid fmt = Fmt.kstr (fun s -> raise (Invalid s)) fmt

@@ -8,6 +8,10 @@ type t
 
 val bytes_per_inst : int
 
+(** Bytes per data word: the one shared scale between word-addressed
+    emulator memory and the byte-addressed cache hierarchy. *)
+val word_bytes : int
+
 exception Invalid of string
 
 (** [create insts] validates the image: all direct targets in range,

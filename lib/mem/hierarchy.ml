@@ -75,6 +75,17 @@ let warm_data t ~byte_addr =
 let warm_inst t ~byte_addr =
   if not (Cache.access t.l1i ~byte_addr) then ignore (Cache.access t.l2 ~byte_addr)
 
+(** [inst_set_tag t ~byte_addr] resolves the L1I set/tag of an instruction
+    address once, at plan time, for {!warm_inst_at}. *)
+let inst_set_tag t ~byte_addr = Cache.set_tag t.l1i ~byte_addr
+
+(** [warm_inst_at t ~set ~tag ~byte_addr] is {!warm_inst} with the L1I
+    index pre-resolved ([set]/[tag] from {!inst_set_tag} of [byte_addr]);
+    the L2 fallback still derives its own index from [byte_addr]. The
+    fused warming path hoists the L1I indexing to plan time with this. *)
+let warm_inst_at t ~set ~tag ~byte_addr =
+  if not (Cache.access_at t.l1i ~set ~tag) then ignore (Cache.access t.l2 ~byte_addr)
+
 let copy t =
   {
     t with

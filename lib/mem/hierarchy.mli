@@ -36,6 +36,15 @@ val warm_data : t -> byte_addr:int -> unit
 
 val warm_inst : t -> byte_addr:int -> unit
 
+(** [inst_set_tag t ~byte_addr] resolves the L1I set/tag of an address at
+    plan time, for {!warm_inst_at}. *)
+val inst_set_tag : t -> byte_addr:int -> int * int
+
+(** [warm_inst_at t ~set ~tag ~byte_addr] is {!warm_inst} with the L1I
+    index pre-resolved; the L2 fallback derives its index from
+    [byte_addr]. Identical accounting and LRU movement. *)
+val warm_inst_at : t -> set:int -> tag:int -> byte_addr:int -> unit
+
 (** Independent deep copy (for sampled-simulation checkpoints). *)
 val copy : t -> t
 

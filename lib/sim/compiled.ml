@@ -933,7 +933,7 @@ let fetch_stage t =
               in
               let byte_addr =
                 if not (Array.unsafe_get plan.is_mem pc) then -1
-                else if has_entry then if e.b_addr >= 0 then e.b_addr * 8 else -1
+                else if has_entry then if e.b_addr >= 0 then e.b_addr * Code.word_bytes else -1
                 else if path = F_wrong then (Array.unsafe_get plan.synth pc)
                 else -1
               in

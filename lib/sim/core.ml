@@ -278,7 +278,7 @@ let dinfo_at t pc (inst : Inst.t) =
       d
 
 (* Synthesized wrong-path data address: deterministic and in range. *)
-let synth_addr t pc = Wish_util.Rng.hash_int pc mod t.mem_words * 8
+let synth_addr t pc = Wish_util.Rng.hash_int pc mod t.mem_words * Code.word_bytes
 
 let uop_path_of = function
   | F_correct -> Uop.Correct
@@ -511,7 +511,7 @@ let translate_plain t ~pc ~(inst : Inst.t) ~(di : dinfo) ~path ~(entry : Oracle.
     match inst.op with
     | Inst.Load _ | Inst.Store _ -> (
       match (entry, path) with
-      | Some e, _ -> if e.addr >= 0 then e.addr * 8 else -1
+      | Some e, _ -> if e.addr >= 0 then e.addr * Code.word_bytes else -1
       | None, F_wrong -> synth_addr t pc
       | None, _ -> -1)
     | _ -> -1

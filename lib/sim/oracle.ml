@@ -21,7 +21,11 @@ type t = {
   skip_limit : int; (* longest skippable run a single skip may cross *)
 }
 
-let create code trace = { code; trace; cursor = 0; skip_limit = 4096 }
+(* Also the sampled coordinator's read-ahead margin unit: how far past a
+   stop index one oracle scan can touch the trace. *)
+let default_skip_limit = 4096
+
+let create code trace = { code; trace; cursor = 0; skip_limit = default_skip_limit }
 
 let cursor t = t.cursor
 let restore t c = t.cursor <- c

@@ -10,6 +10,12 @@
 type t
 
 val create : Wish_isa.Code.t -> Wish_emu.Trace.t -> t
+
+(** The longest skippable run one scan may cross — equivalently, how far
+    past the current cursor a single [consume] can touch the trace (the
+    sampled coordinator's read-ahead margin builds on this). *)
+val default_skip_limit : int
+
 val cursor : t -> int
 
 (** [restore t c] rewinds the cursor at misprediction recovery. *)

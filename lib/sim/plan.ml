@@ -248,7 +248,7 @@ let build (config : Config.t) (program : Program.t) =
       | Config.Select_uop -> is_mem.(pc));
     byte_pc.(pc) <- Code.byte_pc pc;
     line.(pc) <- byte_pc.(pc) / config.hier.l1i.line_bytes;
-    synth.(pc) <- Wish_util.Rng.hash_int pc mod program.mem_words * 8
+    synth.(pc) <- Wish_util.Rng.hash_int pc mod program.mem_words * Code.word_bytes
   done;
   {
     npcs;

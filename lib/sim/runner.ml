@@ -75,25 +75,36 @@ let simulate ?(config = Config.default) ?(streaming = false) ?trace
     counters are expanded with the plain measured-fraction ratio. *)
 let simulate_sampled ?(config = Config.default) ?pool ?(spec : Sampler.spec option)
     ?(streaming = false) ?trace (program : Wish_isa.Program.t) =
-  let trace =
-    match trace with
-    | Some t -> t
-    | None ->
-      if streaming then Wish_emu.Trace.stream program
-      else
-        let t, _final = Wish_emu.Trace.generate program in
-        t
+  let r =
+    match (trace, spec) with
+    | None, Some spec when !Sampler.use_fused ->
+      (* No caller-supplied trace and an explicit spec: warm trace-free
+         through the fused path (report bit-identical to sampling a
+         streamed trace; [--warm-trace] flips back to the reference). An
+         auto spec ([spec = None]) needs the trace length up front, so it
+         stays on the materialized path below. *)
+      Sampler.run_fused ?pool ~config ~spec program
+    | _ ->
+      let trace =
+        match trace with
+        | Some t -> t
+        | None ->
+          if streaming then Wish_emu.Trace.stream program
+          else
+            let t, _final = Wish_emu.Trace.generate program in
+            t
+      in
+      let spec =
+        match spec with
+        | Some s -> s
+        | None ->
+          (* A streaming trace's length is unknown up front; scale the auto
+             spec to it only when it is already materialized. *)
+          if Wish_emu.Trace.is_streaming trace then Sampler.default_spec
+          else Sampler.auto ~length:(Wish_emu.Trace.length trace)
+      in
+      Sampler.run ?pool ~config ~spec program trace
   in
-  let spec =
-    match spec with
-    | Some s -> s
-    | None ->
-      (* A streaming trace's length is unknown up front; scale the auto
-         spec to it only when it is already materialized. *)
-      if Wish_emu.Trace.is_streaming trace then Sampler.default_spec
-      else Sampler.auto ~length:(Wish_emu.Trace.length trace)
-  in
-  let r = Sampler.run ?pool ~config ~spec program trace in
   let round f = int_of_float (Float.round f) in
   let expand x =
     if r.Sampler.r_measured_entries = 0 then 0

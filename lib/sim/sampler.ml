@@ -28,6 +28,7 @@
 
 open Wish_isa
 module Trace = Wish_emu.Trace
+module Exec = Wish_emu.Exec
 module Stats = Wish_util.Stats
 module Pool = Wish_util.Pool
 module Hybrid = Wish_bpred.Hybrid
@@ -213,7 +214,8 @@ let warm_entry st _i ~pc ~guard_true ~taken ~addr =
   let k = Array.unsafe_get st.s_kind pc in
   if k <> k_inert then
     if k = k_mem then begin
-      if guard_true && addr >= 0 then Hierarchy.warm_data w.warm_hier ~byte_addr:(addr * 8)
+      if guard_true && addr >= 0 then
+        Hierarchy.warm_data w.warm_hier ~byte_addr:(addr * Code.word_bytes)
     end
     else if k <= k_wloop then begin
       (* Branch family (cond / wish jump / wish join / wish loop). *)
@@ -269,6 +271,173 @@ let warm_range st trace ~from ~until =
 let warm_state_at ~config program trace i =
   let st = create_state config program in
   ignore (warm_range st trace ~from:0 ~until:i);
+  st.s_warm
+
+(* ----------------------------------------------------------------- *)
+(* Fused (trace-free) warming                                          *)
+(* ----------------------------------------------------------------- *)
+
+(** Run warming fused into the compiled emulator (the default). The
+    trace-based loop above stays behind this flag as the golden
+    reference, mirroring the [--emu-interp]/[--sim-interp] levers. *)
+let use_fused = ref true
+
+(* Per-pc warm hooks for {!Trace.warm_to}: [warm_entry] re-specialized
+   so that everything static — the warm-plan class, the I-line index and
+   its L1I set/tag, the BTB set/tag and entry record, the wish/loop/conf
+   mode bits — is resolved here, at plan time, once per static
+   instruction. The emulator then feeds each retired instruction's
+   {!Exec.out} straight into the hook: no trace encode, no decode, no
+   per-entry class dispatch. Every hook must mutate the warm structures
+   in exactly [warm_entry]'s order (including LRU-recency touches), so
+   fused warm state is bit-identical to trace-based warm state; the
+   [fused] test group in test_sim holds this to account. *)
+let build_hooks st ~entry =
+  let w = st.s_warm in
+  let cfg = st.s_config in
+  let hybrid = w.Core.warm_hybrid
+  and btb = w.Core.warm_btb
+  and ras = w.Core.warm_ras
+  and conf = w.Core.warm_conf
+  and lp = w.Core.warm_loop
+  and hier = w.Core.warm_hier in
+  let n = Code.length st.s_code in
+  (* Dynamic entry points: pcs that can retire after something other than
+     [pc - 1] — static branch/jump/call targets, return landings (the pc
+     after any call), and the program entry. Everywhere else the
+     retirement stream is known at plan time to arrive from [pc - 1]
+     (taken-or-not fall-through included: the predecessor still retires
+     first), so an inert pc on its predecessor's I-line needs no hook at
+     all: [s_last_line] already equals its line when it retires. Those
+     pcs get the [Trace.no_hook] sentinel, which the block driver skips
+     without even an indirect call — on straight-line code that is most
+     of the stream. *)
+  let entered = Array.make (max n 1) false in
+  if entry >= 0 && entry < n then entered.(entry) <- true;
+  for pc = 0 to n - 1 do
+    let inst = Code.get st.s_code pc in
+    (match Inst.direct_target inst with
+    | Some t -> if t >= 0 && t < n then entered.(t) <- true
+    | None -> ());
+    match inst.Inst.op with
+    | Inst.Call _ -> if pc + 1 < n then entered.(pc + 1) <- true
+    | _ -> ()
+  done;
+  Array.init n (fun pc ->
+      let line = st.s_line.(pc) in
+      let byte_pc = Code.byte_pc pc in
+      let iset, itag = Hierarchy.inst_set_tag hier ~byte_addr:byte_pc in
+      let k = st.s_kind.(pc) in
+      if k = k_inert && pc > 0 && (not entered.(pc)) && line = st.s_line.(pc - 1) then
+        Trace.no_hook
+      else if k = k_inert then (fun (_ : Exec.out) ->
+        if line <> st.s_last_line then begin
+          Hierarchy.warm_inst_at hier ~set:iset ~tag:itag ~byte_addr:byte_pc;
+          st.s_last_line <- line
+        end)
+      else if k = k_mem then (fun (o : Exec.out) ->
+        if line <> st.s_last_line then begin
+          Hierarchy.warm_inst_at hier ~set:iset ~tag:itag ~byte_addr:byte_pc;
+          st.s_last_line <- line
+        end;
+        if o.Exec.o_guard_true && o.Exec.o_addr >= 0 then
+          Hierarchy.warm_data hier ~byte_addr:(o.Exec.o_addr * Code.word_bytes))
+      else if k <= k_wloop then begin
+        (* Branch family (cond / wish jump / wish join / wish loop). *)
+        let is_wish = k >= k_wjump in
+        let is_wish_hw = cfg.Config.wish_hardware && is_wish in
+        let perfect_conf = cfg.knobs.perfect_conf in
+        let do_loop = is_wish_hw && cfg.use_loop_predictor && k = k_wloop in
+        let bset, btag = Btb.index btb ~pc in
+        let bentry = { Btb.target = st.s_target.(pc); is_wish } in
+        if not is_wish_hw then begin
+          let bslot = ref (-1) in
+          fun (o : Exec.out) ->
+            (* Plain conditional (or wish branch with the hardware knob
+               off): outcome into the histories, one fused pass. *)
+            if line <> st.s_last_line then begin
+              Hierarchy.warm_inst_at hier ~set:iset ~tag:itag ~byte_addr:byte_pc;
+              st.s_last_line <- line
+            end;
+            let taken = o.Exec.o_taken in
+            ignore (Hybrid.warm_fast hybrid ~dir:taken ~pc ~taken);
+            if taken then Btb.insert_cached btb ~set:bset ~tag:btag ~slot:bslot bentry
+        end
+        else begin
+          (* Wish branch under wish hardware. The hybrid probe and train
+             are split around the confidence estimate (the shifted
+             direction depends on it), sharing one index computation via
+             this hook's lookup buffer; conf probe and train share one
+             way scan; the loop entry resolves its hash slot on the
+             first retirement (exactly when [warm_entry] would create
+             it) and is a direct record reference afterwards. Each
+             structure sees exactly [warm_entry]'s op sequence. *)
+          let lb = Hybrid.fresh_lbuf () in
+          let lentry = ref None in
+          let bslot = ref (-1) in
+          fun (o : Exec.out) ->
+            if line <> st.s_last_line then begin
+              Hierarchy.warm_inst_at hier ~set:iset ~tag:itag ~byte_addr:byte_pc;
+              st.s_last_line <- line
+            end;
+            let taken = o.Exec.o_taken in
+            let history = Hybrid.global_history hybrid in
+            Hybrid.predict_into hybrid ~pc lb;
+            let predicted = lb.Hybrid.b_taken in
+            let conf_high =
+              if perfect_conf then predicted = taken
+              else Confidence.warm_probe conf ~pc ~history ~correct:(predicted = taken)
+            in
+            let dir = if conf_high then taken else predicted in
+            Hybrid.warm_train_b hybrid lb ~pc ~dir ~taken;
+            if do_loop then begin
+              let e =
+                match !lentry with
+                | Some e -> e
+                | None ->
+                  let e = Loop_pred.resolve lp pc in
+                  lentry := Some e;
+                  e
+              in
+              Loop_pred.warm_entry e ~taken
+            end;
+            if taken then Btb.insert_cached btb ~set:bset ~tag:btag ~slot:bslot bentry
+        end
+      end
+      else begin
+        (* Indirect control: jump / call / return. *)
+        let bset, btag = Btb.index btb ~pc in
+        let bentry = { Btb.target = st.s_target.(pc); is_wish = false } in
+        let is_call = k = k_call and is_return = k = k_return in
+        let bslot = ref (-1) in
+        fun (o : Exec.out) ->
+          if line <> st.s_last_line then begin
+            Hierarchy.warm_inst_at hier ~set:iset ~tag:itag ~byte_addr:byte_pc;
+            st.s_last_line <- line
+          end;
+          if is_call then Ras.push ras (pc + 1)
+          else if is_return then ignore (Ras.pop ras);
+          if o.Exec.o_taken then Btb.insert_cached btb ~set:bset ~tag:btag ~slot:bslot bentry
+      end)
+
+(* Warm only what the trace already recorded in [from, until) — never
+   pulls the generator (the unrecorded remainder is the fused path's
+   job). Returns the new cursor. *)
+let warm_recorded st trace ~from ~until =
+  let avail = min until (Trace.length trace) in
+  if avail > from then
+    Trace.iter_range trace ~from ~until:avail ~f:(fun i ~pc ~guard_true ~taken ~addr ->
+        warm_entry st i ~pc ~guard_true ~taken ~addr);
+  max from avail
+
+(** [fused_warm_state_at ~config program i] — {!warm_state_at} computed
+    by the fused path: no trace entries exist, the warm hooks ran inside
+    the emulator. Bit-identical to the trace-based state by contract. *)
+let fused_warm_state_at ~config program i =
+  let st = create_state config program in
+  let hooks = build_hooks st ~entry:program.Program.entry in
+  let trace = Trace.stream program in
+  ignore (Trace.warm_to trace ~hooks ~until:i);
   st.s_warm
 
 (* ----------------------------------------------------------------- *)
@@ -504,5 +673,113 @@ let run ?pool ~config ~spec (program : Program.t) trace =
   Trace.release trace !cursor;
   let total = Trace.length trace in
   aggregate ~spec ~period ~total_insts:total
+    ~mem:(Hierarchy.stats st.s_warm.Core.warm_hier)
+    (List.rev !windows)
+
+(* Upper bound on how far past its stop index a detailed window's trace
+   cursor can read: the machine's in-flight capacity (ROB plus front-end
+   queue — each in-flight µop consumed one entry), the skippable
+   (guard-false / speculated) runs a predicted-taken wish branch jumps
+   over (each bounded by the static code length), and one final
+   skip-limited oracle scan. Generous by construction, and only load-
+   bearing in pooled fused mode, where a violation raises loudly through
+   the trace seal instead of racing the generator. *)
+let read_margin (config : Config.t) (program : Program.t) =
+  let n = Code.length (Program.code program) in
+  config.rob_size
+  + (config.frontend_depth * config.fetch_width)
+  + (2 * Oracle.default_skip_limit)
+  + (8 * n) + 2048
+
+(** [run_fused ?pool ~config ~spec program] — {!run} with warming fused
+    into the compiled emulator: the schedule, checkpoints, windows and
+    estimates are identical, but warm regions execute through per-pc warm
+    hooks inside {!Wish_emu.Compiled} ({!Trace.warm_to}) instead of
+    round-tripping through packed trace entries, and trace chunks are
+    materialized only for each window's span (lead + detail) plus a
+    bounded read-ahead margin. A window's own span is still warmed from
+    the recorded entries with the reference [warm_entry] — identical
+    content either way, and the chunks are already resident.
+
+    With [pool], window batches fan out across domains while the trace is
+    sealed (a window out-reading its pre-recorded margin fails loudly
+    rather than racing the generator). Serial mode needs no margin: a
+    window pulling the generator a little further is harmless on the
+    coordinating domain, and the extra recorded entries are warmed as
+    recorded entries on the next iteration. *)
+let run_fused ?pool ~config ~spec (program : Program.t) =
+  let trace = Trace.stream program in
+  let lead = lead_of spec in
+  let span = lead + spec.detail in
+  let period = spec.warm + span in
+  let head_n = max 1 (min 4 (period / span)) in
+  let stride = period / head_n in
+  let start_of idx = if idx < head_n then idx * stride else (idx - head_n + 1) * period in
+  let batch_size = match pool with Some p -> max 2 (2 * Pool.size p) | None -> 1 in
+  let margin = read_margin config program in
+  let st = create_state config program in
+  let hooks = build_hooks st ~entry:program.Program.entry in
+  let windows = ref [] (* reversed *) in
+  let pending = ref [] (* reversed *) in
+  let npending = ref 0 in
+  let do_window ck = run_window ~config ~program ~trace ~detail:spec.detail ck in
+  let flush () =
+    if !npending > 0 then begin
+      let cks = List.rev !pending in
+      pending := [];
+      npending := 0;
+      let ws =
+        match pool with
+        | None -> List.map do_window cks
+        | Some p ->
+          Trace.set_sealed trace true;
+          Fun.protect
+            ~finally:(fun () -> Trace.set_sealed trace false)
+            (fun () -> Pool.map p do_window cks)
+      in
+      windows := List.rev_append ws !windows
+    end
+  in
+  let cursor = ref 0 in
+  let idx = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let start = start_of !idx in
+    (* Entries a window recorded past the previous span warm as recorded
+       entries; the rest of the gap runs fused. *)
+    cursor := warm_recorded st trace ~from:!cursor ~until:start;
+    if !cursor < start then cursor := Trace.warm_to trace ~hooks ~until:start;
+    if !cursor < start || not (Trace.ensure trace start) then continue := false
+    else begin
+      let ck =
+        if start = 0 then
+          (* Cold window: a second fresh state (not a copy of [st] — the
+             live warming state must keep advancing independently). *)
+          { c_start = 0; c_lead = 0; c_warm = (create_state config program).s_warm }
+        else { c_start = start; c_lead = lead; c_warm = copy_warm st.s_warm }
+      in
+      pending := ck :: !pending;
+      incr npending;
+      let wtarget = start + span in
+      (* The window reads its span from recorded entries, so materialize
+         them before the fused pass would skip them. Serial windows may
+         pull the generator further themselves at flush (same domain);
+         pooled windows run against a sealed trace and must find every
+         entry they can touch — span plus read-ahead margin — already
+         recorded. *)
+      ignore (Trace.ensure trace (if pool = None then wtarget - 1 else wtarget + margin - 1));
+      cursor := warm_recorded st trace ~from:start ~until:wtarget;
+      if !cursor < wtarget then cursor := Trace.warm_to trace ~hooks ~until:wtarget;
+      if !npending >= batch_size then begin
+        flush ();
+        Trace.release trace !cursor
+      end;
+      if !cursor < wtarget then continue := false;
+      incr idx
+    end
+  done;
+  flush ();
+  Trace.release trace !cursor;
+  aggregate ~spec ~period ~total_insts:(Trace.length trace)
     ~mem:(Hierarchy.stats st.s_warm.Core.warm_hier)
     (List.rev !windows)

@@ -71,6 +71,17 @@ type report = {
 val warm_state_at :
   config:Config.t -> Wish_isa.Program.t -> Wish_emu.Trace.t -> int -> Core.warm_state
 
+(** Run warming fused into the compiled emulator (the default for
+    trace-free sampled runs; see {!run_fused}). The trace-based loop
+    stays behind this flag as the golden reference — the [--warm-trace]
+    driver lever, mirroring [--emu-interp]/[--sim-interp]. *)
+val use_fused : bool ref
+
+(** [fused_warm_state_at ~config program i] — {!warm_state_at} computed
+    trace-free: per-pc warm hooks run inside the compiled emulator, no
+    entry is ever encoded. Bit-identical to the trace-based state. *)
+val fused_warm_state_at : config:Config.t -> Wish_isa.Program.t -> int -> Core.warm_state
+
 (** [run ?pool ~config ~spec program trace] — sample the whole trace.
     With [pool] (materialized traces only — the pool is ignored for
     streaming traces) detailed windows fan out across the pool's domains
@@ -87,3 +98,14 @@ val run :
   Wish_isa.Program.t ->
   Wish_emu.Trace.t ->
   report
+
+(** [run_fused ?pool ~config ~spec program] — {!run} without a trace:
+    warm regions execute through per-pc warm hooks fused into the
+    compiled emulator, and trace chunks are materialized only for each
+    window's span (lead + detail) plus a bounded read-ahead margin.
+    Same schedule, same checkpoints, same windows: the report is
+    bit-identical to {!run} over this program's streamed trace. With
+    [pool], window batches fan out across domains while the trace is
+    sealed against generator pulls. *)
+val run_fused :
+  ?pool:Wish_util.Pool.t -> config:Config.t -> spec:spec -> Wish_isa.Program.t -> report

@@ -2,32 +2,38 @@
     JRS confidence estimator.
 
     A structure holds [sets] sets of [ways] entries. Each entry stores a tag
-    and a user payload; recency is tracked with a per-entry stamp. *)
+    and a user payload; recency is tracked with a per-entry stamp.
 
-type 'a entry = {
-  mutable tag : int;
-  mutable valid : bool;
-  mutable stamp : int;
-  mutable payload : 'a;
-}
+    Layout is structure-of-arrays: tags, stamps, validity bits and payloads
+    live in flat row-major arrays indexed by [set * ways + way]. Sampled
+    simulation checkpoints these structures once per detailed window, so
+    {!copy} has to be a handful of block copies, not one record allocation
+    per entry — on a megabyte-class L2 that is the difference between
+    microseconds and milliseconds per checkpoint. *)
 
 type 'a t = {
   sets : int;
   smask : int; (* sets - 1 when sets is a power of two, else -1 *)
   ways : int;
-  entries : 'a entry array array; (* [set].(way) *)
+  tags : int array; (* [set * ways + way] *)
+  stamps : int array;
+  valids : Bytes.t; (* '\001' when the slot holds a live entry *)
+  payloads : 'a array;
   mutable clock : int;
   default : unit -> 'a;
 }
 
 let create ~sets ~ways ~default =
   assert (sets > 0 && ways > 0);
-  let make_entry _ = { tag = 0; valid = false; stamp = 0; payload = default () } in
+  let n = sets * ways in
   {
     sets;
     smask = (if sets land (sets - 1) = 0 then sets - 1 else -1);
     ways;
-    entries = Array.init sets (fun _ -> Array.init ways make_entry);
+    tags = Array.make n 0;
+    stamps = Array.make n 0;
+    valids = Bytes.make n '\000';
+    payloads = Array.init n (fun _ -> default ());
     clock = 0;
     default;
   }
@@ -35,128 +41,140 @@ let create ~sets ~ways ~default =
 (* Set-index reduction: a masked AND when the set count is a power of two
    (every production configuration), an integer division otherwise.
    Identical results for the non-negative indices callers pass. *)
-let row t set = Array.unsafe_get t.entries (if t.smask >= 0 then set land t.smask else set mod t.sets)
+let base t set = (if t.smask >= 0 then set land t.smask else set mod t.sets) * t.ways
 
 let sets t = t.sets
 let ways t = t.ways
+let valid_at t i = Bytes.unsafe_get t.valids i <> '\000'
 
-let touch t e =
+let touch t i =
   t.clock <- t.clock + 1;
-  e.stamp <- t.clock
+  Array.unsafe_set t.stamps i t.clock
 
 (* Way scan as a top-level recursion (not a per-call closure): returns the
-   matching way index or -1. *)
-let rec scan_way row ways tag i =
-  if i >= ways then -1
-  else
-    let e : _ entry = Array.unsafe_get row i in
-    if e.valid && e.tag = tag then i else scan_way row ways tag (i + 1)
+   flat index of the matching slot or -1. *)
+let rec scan_way t tag stop i =
+  if i >= stop then -1
+  else if valid_at t i && Array.unsafe_get t.tags i = tag then i
+  else scan_way t tag stop (i + 1)
+
+let slot_of t ~set ~tag =
+  let b = base t set in
+  scan_way t tag (b + t.ways) b
 
 (** [find t ~set ~tag] looks up an entry and updates its recency on hit. *)
 let find t ~set ~tag =
-  let row = row t set in
-  let i = scan_way row t.ways tag 0 in
+  let i = slot_of t ~set ~tag in
   if i < 0 then None
   else begin
-    let e = row.(i) in
-    touch t e;
-    Some e.payload
+    touch t i;
+    Some t.payloads.(i)
   end
 
 (** [hit t ~set ~tag] is [find <> None] without the option box: recency is
     refreshed exactly as by [find], but only presence is reported. *)
 let hit t ~set ~tag =
-  let row = row t set in
-  let i = scan_way row t.ways tag 0 in
+  let i = slot_of t ~set ~tag in
   i >= 0
   && begin
-       touch t row.(i);
+       touch t i;
        true
      end
 
 (** [find_default t ~set ~tag ~default] — like [find] but returns
     [default] on a miss instead of boxing the payload in an option. *)
 let find_default t ~set ~tag ~default =
-  let row = row t set in
-  let i = scan_way row t.ways tag 0 in
+  let i = slot_of t ~set ~tag in
   if i < 0 then default
   else begin
-    let e = row.(i) in
-    touch t e;
-    e.payload
+    touch t i;
+    Array.unsafe_get t.payloads i
   end
 
 (** [mem t ~set ~tag] checks presence without updating recency. *)
-let mem t ~set ~tag =
-  let row = row t set in
-  Array.exists (fun e -> e.valid && e.tag = tag) row
+let mem t ~set ~tag = slot_of t ~set ~tag >= 0
 
 (** [update t ~set ~tag ~f] applies [f] to the payload on hit (refreshing
     recency); returns whether the entry was present. *)
 let update t ~set ~tag ~f =
-  let row = row t set in
-  let rec loop i =
-    if i >= t.ways then false
-    else
-      let e = row.(i) in
-      if e.valid && e.tag = tag then begin
-        touch t e;
-        e.payload <- f e.payload;
-        true
-      end
-      else loop (i + 1)
-  in
-  loop 0
+  let i = slot_of t ~set ~tag in
+  if i < 0 then false
+  else begin
+    touch t i;
+    t.payloads.(i) <- f t.payloads.(i);
+    true
+  end
+
+(* Backward way scan: flat index of the last way matching [tag] (an insert
+   refreshing an existing tag keeps the last match), or -1. *)
+let rec last_match_way t tag b i =
+  if i < b then -1
+  else if valid_at t i && Array.unsafe_get t.tags i = tag then i
+  else last_match_way t tag b (i - 1)
+
+(* Victim selection, scanning in way order with the running victim as the
+   comparand: prefer an invalid way, else the lowest stamp. *)
+let rec victim_way t stop vi i =
+  if i >= stop then vi
+  else
+    let vi =
+      if (not (valid_at t i)) && valid_at t vi then i
+      else if valid_at t i = valid_at t vi && Array.unsafe_get t.stamps i < Array.unsafe_get t.stamps vi
+      then i
+      else vi
+    in
+    victim_way t stop vi (i + 1)
+
+let fill_slot t i ~tag payload =
+  t.tags.(i) <- tag;
+  Bytes.unsafe_set t.valids i '\001';
+  t.payloads.(i) <- payload;
+  touch t i
 
 (** [insert t ~set ~tag payload] inserts, evicting the LRU way if needed.
     Returns the evicted [(tag, payload)] if a valid entry was displaced. *)
 let insert t ~set ~tag payload =
-  let row = row t set in
-  (* Prefer refreshing an existing entry with the same tag. *)
-  let existing = ref None in
-  Array.iter (fun e -> if e.valid && e.tag = tag then existing := Some e) row;
-  match !existing with
-  | Some e ->
-    touch t e;
-    e.payload <- payload;
+  let b = base t set in
+  match last_match_way t tag b (b + t.ways - 1) with
+  | i when i >= 0 ->
+    touch t i;
+    t.payloads.(i) <- payload;
     None
-  | None ->
-    let victim = ref row.(0) in
-    Array.iter
-      (fun e ->
-        let v = !victim in
-        if (not e.valid) && v.valid then victim := e
-        else if e.valid = v.valid && e.stamp < v.stamp then victim := e)
-      row;
-    let v = !victim in
-    let evicted = if v.valid then Some (v.tag, v.payload) else None in
-    v.tag <- tag;
-    v.valid <- true;
-    v.payload <- payload;
-    touch t v;
+  | _ ->
+    let v = victim_way t (b + t.ways) b (b + 1) in
+    let evicted = if valid_at t v then Some (t.tags.(v), t.payloads.(v)) else None in
+    fill_slot t v ~tag payload;
     evicted
+
+(** [insert_quiet t ~set ~tag payload] is {!insert} with the eviction
+    report dropped: identical replacement decisions and recency updates,
+    but allocation-free (no option/tuple boxing) — the warming hot paths
+    live on this. *)
+let insert_quiet t ~set ~tag payload =
+  let b = base t set in
+  let i = last_match_way t tag b (b + t.ways - 1) in
+  if i >= 0 then begin
+    touch t i;
+    t.payloads.(i) <- payload
+  end
+  else fill_slot t (victim_way t (b + t.ways) b (b + 1)) ~tag payload
 
 (** [invalidate t ~set ~tag] removes an entry if present. *)
 let invalidate t ~set ~tag =
-  let row = row t set in
-  Array.iter
-    (fun e ->
-      if e.valid && e.tag = tag then begin
-        e.valid <- false;
-        e.payload <- t.default ()
-      end)
-    row
+  let b = base t set in
+  for i = b to b + t.ways - 1 do
+    if valid_at t i && t.tags.(i) = tag then begin
+      Bytes.unsafe_set t.valids i '\000';
+      t.payloads.(i) <- t.default ()
+    end
+  done
 
 let clear t =
-  Array.iter
-    (fun row ->
-      Array.iter
-        (fun e ->
-          e.valid <- false;
-          e.stamp <- 0;
-          e.payload <- t.default ())
-        row)
-    t.entries;
+  Bytes.fill t.valids 0 (Bytes.length t.valids) '\000';
+  Array.fill t.stamps 0 (Array.length t.stamps) 0;
+  for i = 0 to Array.length t.payloads - 1 do
+    t.payloads.(i) <- t.default ()
+  done;
   t.clock <- 0
 
 (** [copy t] — an independent structure with the same contents. Payloads
@@ -167,15 +185,44 @@ let clear t =
 let copy t =
   {
     t with
-    entries =
-      Array.map
-        (Array.map (fun e ->
-             { tag = e.tag; valid = e.valid; stamp = e.stamp; payload = e.payload }))
-        t.entries;
+    tags = Array.copy t.tags;
+    stamps = Array.copy t.stamps;
+    valids = Bytes.copy t.valids;
+    payloads = Array.copy t.payloads;
   }
 
 (** [count_valid t] returns the number of valid entries (for tests/stats). *)
 let count_valid t =
-  Array.fold_left
-    (fun acc row -> Array.fold_left (fun a e -> if e.valid then a + 1 else a) acc row)
-    0 t.entries
+  let n = ref 0 in
+  for i = 0 to Bytes.length t.valids - 1 do
+    if valid_at t i then incr n
+  done;
+  !n
+
+(* ----------------------------------------------------------------- *)
+(* Slot-level access                                                   *)
+(* ----------------------------------------------------------------- *)
+
+(** [find_slot t ~set ~tag] — the slot handle of the matching entry, or
+    [-1] on a miss, with no recency update. Slot handles stay valid until
+    the entry is evicted or invalidated; fused hot paths use them to
+    probe once and then apply several recency/payload steps to the same
+    entry without rescanning the ways. *)
+let find_slot t ~set ~tag = slot_of t ~set ~tag
+
+(** [touch_slot t slot] — exactly one recency refresh (one clock bump) on
+    a slot returned by {!find_slot}. *)
+let touch_slot t slot = touch t slot
+
+(** [slot_matches t slot ~tag] — does [slot] still hold a valid entry
+    with [tag]? Re-validates a cached handle from {!find_slot} in two
+    loads instead of a way scan (tags are unique within a set, so a
+    matching slot is THE entry for that set/tag). *)
+let slot_matches t slot ~tag = valid_at t slot && Array.unsafe_get t.tags slot = tag
+
+(** [slot_payload t slot] reads the payload of a slot from {!find_slot}. *)
+let slot_payload t slot = Array.unsafe_get t.payloads slot
+
+(** [set_slot_payload t slot p] writes a slot's payload (no recency
+    change — pair with {!touch_slot} to mirror {!update}). *)
+let set_slot_payload t slot p = Array.unsafe_set t.payloads slot p

@@ -37,6 +37,11 @@ val update : 'a t -> set:int -> tag:int -> f:('a -> 'a) -> bool
     Inserting an existing tag replaces its payload without eviction. *)
 val insert : 'a t -> set:int -> tag:int -> 'a -> (int * 'a) option
 
+(** [insert_quiet t ~set ~tag payload] — {!insert} minus the eviction
+    report: identical replacement decisions and recency updates, but
+    allocation-free (warming hot paths). *)
+val insert_quiet : 'a t -> set:int -> tag:int -> 'a -> unit
+
 (** [invalidate t ~set ~tag] removes an entry if present. *)
 val invalidate : 'a t -> set:int -> tag:int -> unit
 
@@ -49,3 +54,29 @@ val copy : 'a t -> 'a t
 
 (** [count_valid t] returns the number of valid entries (tests/stats). *)
 val count_valid : 'a t -> int
+
+(** {1 Slot-level access}
+
+    For fused warming paths that probe an entry and then apply several
+    recency/payload steps to it without rescanning the ways. A slot
+    handle from {!find_slot} stays valid until that entry is evicted or
+    invalidated. *)
+
+(** [find_slot t ~set ~tag] — the matching entry's slot handle, or [-1]
+    on a miss; no recency update. *)
+val find_slot : 'a t -> set:int -> tag:int -> int
+
+(** [touch_slot t slot] — exactly one recency refresh (the same clock
+    bump {!find} or {!update} would apply). *)
+val touch_slot : 'a t -> int -> unit
+
+(** [slot_matches t slot ~tag] — does [slot] still hold a valid entry
+    with [tag]? Re-validates a cached handle in two loads instead of a
+    way scan (tags are unique within a set). *)
+val slot_matches : 'a t -> int -> tag:int -> bool
+
+val slot_payload : 'a t -> int -> 'a
+
+(** [set_slot_payload t slot p] — payload write with no recency change
+    (pair with {!touch_slot} to mirror {!update}). *)
+val set_slot_payload : 'a t -> int -> 'a -> unit

@@ -374,6 +374,99 @@ let test_sampler_tiny_trace_is_exact () =
   check Alcotest.int "cycle estimate is the exact count" exact.cycles r.r_est_cycles;
   check (Alcotest.float 1e-6) "uPC is the exact uPC" exact.upc s.upc
 
+(* Fused (trace-free) warming --------------------------------------------------------- *)
+
+let workload_program name =
+  let bench = Wish_workloads.Workloads.find ~scale:1 name in
+  let bins =
+    Wish_compiler.Compiler.compile_all ~mem_words:bench.mem_words ~name:bench.name
+      ~profile_data:(Wish_workloads.Bench.profile_data bench) bench.ast
+  in
+  Wish_workloads.Bench.program_for bench
+    (Wish_compiler.Compiler.binary bins Wish_compiler.Policy.Wish_jjl)
+    "A"
+
+(* Probe two warm states through every observable the detailed core reads
+   of them, in the same order on both (probes refresh LRU recency, so
+   identical order keeps the comparison exact). The states are throwaway,
+   so draining the return-address stacks at the end is fine. *)
+let assert_warm_equal label n (a : Core.warm_state) (b : Core.warm_state) =
+  let module H = Wish_bpred.Hybrid in
+  let module B = Wish_bpred.Btb in
+  let module C = Wish_bpred.Confidence in
+  let module LP = Wish_bpred.Loop_pred in
+  let module R = Wish_bpred.Ras in
+  let fail_pc what pc = Alcotest.failf "%s: %s differs at pc %d" label what pc in
+  check Alcotest.int (label ^ ": global history")
+    (H.global_history a.Core.warm_hybrid)
+    (H.global_history b.Core.warm_hybrid);
+  let gh = H.global_history a.Core.warm_hybrid in
+  for pc = 0 to n - 1 do
+    if H.predict_taken a.Core.warm_hybrid ~pc <> H.predict_taken b.Core.warm_hybrid ~pc then
+      fail_pc "hybrid direction" pc;
+    if B.lookup a.Core.warm_btb ~pc <> B.lookup b.Core.warm_btb ~pc then fail_pc "BTB entry" pc;
+    if
+      C.is_high_confidence a.Core.warm_conf ~pc ~history:gh
+      <> C.is_high_confidence b.Core.warm_conf ~pc ~history:gh
+    then fail_pc "confidence" pc;
+    if LP.predict_code a.Core.warm_loop ~pc <> LP.predict_code b.Core.warm_loop ~pc then
+      fail_pc "loop prediction" pc
+  done;
+  let drain r = List.init (R.capacity r) (fun _ -> R.pop r) in
+  Alcotest.(check (list int))
+    (label ^ ": return-address stack")
+    (drain a.Core.warm_ras) (drain b.Core.warm_ras);
+  Alcotest.(check bool)
+    (label ^ ": hierarchy stats")
+    true
+    (Wish_mem.Hierarchy.stats a.Core.warm_hier = Wish_mem.Hierarchy.stats b.Core.warm_hier)
+
+let test_fused_warm_state_lockstep () =
+  (* Every paper workload (scale 1), both with and without the wish
+     hardware (the two sides exercise disjoint branch-hook shapes), warm
+     state probed mid-trace and at end-of-trace: the fused hooks must
+     land the exact state the trace-based warming loop lands. *)
+  List.iter
+    (fun name ->
+      let program = workload_program name in
+      let n = Code.length (Program.code program) in
+      let trace, _ = Wish_emu.Trace.generate program in
+      let total = Wish_emu.Trace.length trace in
+      List.iter
+        (fun (mtag, config) ->
+          List.iter
+            (fun i ->
+              let label = Printf.sprintf "%s/%s@%d" name mtag i in
+              let a = Sampler.warm_state_at ~config program trace i in
+              let b = Sampler.fused_warm_state_at ~config program i in
+              assert_warm_equal label n a b)
+            [ total / 2; total ])
+        [
+          ("wish-hw", Config.default);
+          ("no-wish-hw", { Config.default with wish_hardware = false });
+        ])
+    Wish_workloads.Workloads.names
+
+let test_fused_report_identical () =
+  let program, trace = Lazy.force sampled_fixture in
+  let config = Config.default in
+  let r = Sampler.run ~config ~spec:sampled_spec program trace in
+  let f = Sampler.run_fused ~config ~spec:sampled_spec program in
+  (* [compare], not [=]: an equal-but-NaN CI still counts as identical. *)
+  Alcotest.(check bool) "fused report bit-identical" true (compare f r = 0)
+
+let test_fused_parallel_identical () =
+  let program, _ = Lazy.force sampled_fixture in
+  let config = Config.default in
+  let serial = Sampler.run_fused ~config ~spec:sampled_spec program in
+  let pool = Wish_util.Pool.create ~size:2 () in
+  let parallel =
+    Fun.protect
+      ~finally:(fun () -> Wish_util.Pool.shutdown pool)
+      (fun () -> Sampler.run_fused ~pool ~config ~spec:sampled_spec program)
+  in
+  Alcotest.(check bool) "pooled fused run identical" true (compare parallel serial = 0)
+
 let () =
   Alcotest.run "wish_sim"
     [
@@ -426,5 +519,11 @@ let () =
           Alcotest.test_case "report well-formed" `Quick test_sampler_report_well_formed;
           Alcotest.test_case "parallel == serial" `Quick test_sampler_parallel_identical;
           Alcotest.test_case "tiny trace is exact" `Quick test_sampler_tiny_trace_is_exact;
+        ] );
+      ( "fused",
+        [
+          Alcotest.test_case "warm-state lockstep" `Quick test_fused_warm_state_lockstep;
+          Alcotest.test_case "report identical" `Quick test_fused_report_identical;
+          Alcotest.test_case "parallel == serial" `Quick test_fused_parallel_identical;
         ] );
     ]
